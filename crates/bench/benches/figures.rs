@@ -1,0 +1,68 @@
+//! Regenerates Figures 3–8 of the paper and benchmarks the stages that
+//! produce them.
+//!
+//! Run with: `cargo bench -p qem-bench --bench figures`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qem_bench::{bench_campaign, bench_ce_campaign, bench_universe};
+use qem_core::reports::{figure3, figure4, figure5, figure6, figure7};
+use qem_core::{Campaign, CampaignOptions};
+use qem_web::SnapshotDate;
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let universe = bench_universe();
+    let campaign = Campaign::new(&universe);
+    let options = CampaignOptions::paper_default();
+
+    // Longitudinal snapshots for Figures 3 and 4/8.
+    let key_dates = [
+        SnapshotDate::JUN_2022,
+        SnapshotDate::FEB_2023,
+        SnapshotDate::APR_2023,
+    ];
+    let longitudinal = campaign.run_longitudinal(&key_dates, &options);
+    println!("{}", figure3(&universe, &longitudinal));
+    println!("{}", figure4(&universe, &longitudinal));
+
+    // Main campaign for Figures 5 and 7.
+    let main = bench_campaign(&universe);
+    let v6 = main.v6.as_ref().expect("ipv6 snapshot");
+    println!("{}", figure5(&universe, &main.v4, v6));
+
+    // CE-probing campaign for Figure 6.
+    let ce = bench_ce_campaign(&universe);
+    println!("{}", figure6(&universe, &ce.v4));
+
+    // Distributed cloud campaign for Figure 7.
+    let cloud = campaign.run_cloud(&main.v4, main.v6.as_ref(), &options);
+    println!("{}", figure7(&universe, &main.v4, &cloud));
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("figure3_mirroring_over_time", |b| {
+        b.iter(|| black_box(figure3(&universe, &longitudinal)))
+    });
+    group.bench_function("figure4_transitions", |b| {
+        b.iter(|| black_box(figure4(&universe, &longitudinal)))
+    });
+    group.bench_function("figure5_ipv4_ipv6", |b| {
+        b.iter(|| black_box(figure5(&universe, &main.v4, v6)))
+    });
+    group.bench_function("figure6_tcp_vs_quic", |b| {
+        b.iter(|| black_box(figure6(&universe, &ce.v4)))
+    });
+    group.bench_function("figure7_global", |b| {
+        b.iter(|| black_box(figure7(&universe, &main.v4, &cloud)))
+    });
+    // The expensive stage behind Figure 3: one full monthly snapshot.
+    group.bench_function("monthly_snapshot_scan", |b| {
+        b.iter(|| {
+            black_box(campaign.run_longitudinal(&[SnapshotDate::FEB_2023], &options))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates Tables 1–7 of the paper and benchmarks the pipeline stages
+//! that produce them.
+//!
+//! Run with: `cargo bench -p qem-bench --bench tables`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qem_bench::{bench_campaign, bench_universe};
+use qem_core::reports::{table1, table2, table3, table4, table5, table6, table7};
+use qem_core::{ScanOptions, Scanner, VantagePoint};
+use qem_web::SnapshotDate;
+use std::hint::black_box;
+
+fn tables(c: &mut Criterion) {
+    let universe = bench_universe();
+    let result = bench_campaign(&universe);
+    let v4 = &result.v4;
+    let v6 = result.v6.as_ref();
+
+    // Print the regenerated tables once: this output *is* the reproduction.
+    println!("{}", table1(&universe, v4));
+    println!("{}", table2(&universe, v4));
+    println!("{}", table3(&universe, v4));
+    println!("{}", table4(&universe, v4));
+    println!("{}", table5(&universe, v4, v6));
+    println!("{}", table6(&universe, v4));
+    println!("{}", table7(&universe, v4));
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_visible_support", |b| {
+        b.iter(|| black_box(table1(&universe, v4)))
+    });
+    group.bench_function("table2_cno_providers", |b| {
+        b.iter(|| black_box(table2(&universe, v4)))
+    });
+    group.bench_function("table3_toplist_providers", |b| {
+        b.iter(|| black_box(table3(&universe, v4)))
+    });
+    group.bench_function("table4_clearing", |b| {
+        b.iter(|| black_box(table4(&universe, v4)))
+    });
+    group.bench_function("table5_validation", |b| {
+        b.iter(|| black_box(table5(&universe, v4, v6)))
+    });
+    group.bench_function("table6_validation_providers", |b| {
+        b.iter(|| black_box(table6(&universe, v4)))
+    });
+    group.bench_function("table7_failure_attribution", |b| {
+        b.iter(|| black_box(table7(&universe, v4)))
+    });
+
+    // The underlying measurement stage: scanning a batch of QUIC hosts.
+    let quic_hosts: Vec<usize> = universe
+        .hosts
+        .iter()
+        .filter(|h| h.stack.is_some())
+        .map(|h| h.id)
+        .take(64)
+        .collect();
+    let scanner = Scanner::new(
+        &universe,
+        VantagePoint::main(),
+        ScanOptions::paper_default(SnapshotDate::APR_2023),
+    );
+    group.bench_function("scan_64_quic_hosts", |b| {
+        b.iter(|| black_box(scanner.scan_hosts(&quic_hosts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

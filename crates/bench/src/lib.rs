@@ -1,0 +1,47 @@
+//! Shared setup for the benchmark harness.
+//!
+//! Every bench target regenerates one (or more) of the paper's tables or
+//! figures: the expensive inputs (universe generation, campaign runs) are
+//! produced once per process, the regenerated rows are printed so that
+//! `cargo bench` output doubles as the reproduction artefact, and Criterion
+//! then measures the pipeline stage the bench is named after.
+
+use qem_core::{Campaign, CampaignOptions, CampaignResult};
+use qem_web::{Universe, UniverseConfig};
+
+/// Universe scale used by the benches (1:4000 of the paper's population keeps
+/// a single bench invocation in the seconds range while preserving the
+/// provider structure).
+pub const BENCH_SCALE: f64 = 0.00025;
+
+/// Generate the benchmark universe.
+pub fn bench_universe() -> Universe {
+    Universe::generate(&UniverseConfig {
+        scale: BENCH_SCALE,
+        seed: 0xbe9c,
+        ensure_rare_segments: true,
+    })
+}
+
+/// Run the main-vantage-point campaign (IPv4 + IPv6) on a universe.
+pub fn bench_campaign(universe: &Universe) -> CampaignResult {
+    Campaign::new(universe).run_main(&CampaignOptions::paper_default(), true)
+}
+
+/// Run the CE-probing campaign (Figure 6) on a universe.
+pub fn bench_ce_campaign(universe: &Universe) -> CampaignResult {
+    Campaign::new(universe).run_main(&CampaignOptions::ce_probing(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_universe_is_small_but_structured() {
+        let universe = bench_universe();
+        assert!(universe.domains.len() > 10_000);
+        assert!(universe.hosts.iter().any(|h| h.stack.is_some()));
+        assert!(universe.providers.iter().any(|p| p.name == "Cloudflare"));
+    }
+}

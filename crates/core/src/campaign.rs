@@ -1,0 +1,344 @@
+//! Campaign orchestration: main-vantage-point snapshots, longitudinal series,
+//! the CE-probing comparison run and the distributed cloud measurement.
+
+use crate::observation::{DomainRecord, HostMeasurement, MirrorUse};
+use crate::scanner::{ProbeMode, ScanOptions, Scanner};
+use crate::vantage::VantagePoint;
+use qem_web::{SnapshotDate, Universe};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Options shared by campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOptions {
+    /// Snapshot date of the measurement.
+    pub date: SnapshotDate,
+    /// Probe mode (ECT(0) methodology or the §6.3 CE run).
+    pub probe: ProbeMode,
+    /// Tracebox sampling probability for abnormal hosts.
+    pub trace_sample_probability: f64,
+    /// Worker threads per scan.
+    pub workers: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl CampaignOptions {
+    /// The week-15/2023 main measurement configuration.
+    pub fn paper_default() -> Self {
+        CampaignOptions {
+            date: SnapshotDate::APR_2023,
+            probe: ProbeMode::Ect0,
+            trace_sample_probability: 0.2,
+            workers: 4,
+            seed: 0x1299,
+        }
+    }
+
+    /// The week-20/2023 CE-probing configuration (Figure 6).
+    pub fn ce_probing() -> Self {
+        CampaignOptions {
+            date: SnapshotDate::MAY_2023,
+            probe: ProbeMode::ForceCe,
+            ..CampaignOptions::paper_default()
+        }
+    }
+
+    fn scan_options(&self, ipv6: bool) -> ScanOptions {
+        ScanOptions {
+            date: self.date,
+            ipv6,
+            probe: self.probe,
+            trace_sample_probability: self.trace_sample_probability,
+            workers: self.workers,
+            seed: self.seed,
+        }
+    }
+}
+
+/// All host measurements taken from one vantage point for one address family
+/// at one date.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotMeasurement {
+    /// Snapshot date.
+    pub date: SnapshotDate,
+    /// Whether this snapshot probed IPv6.
+    pub ipv6: bool,
+    /// The vantage point used.
+    pub vantage: VantagePoint,
+    /// Per-host measurements, keyed by host id.
+    pub hosts: HashMap<usize, HostMeasurement>,
+}
+
+impl SnapshotMeasurement {
+    /// Look up the measurement for a host.
+    pub fn host(&self, host_id: usize) -> Option<&HostMeasurement> {
+        self.hosts.get(&host_id)
+    }
+
+    /// Build per-domain records by joining the universe's DNS data with the
+    /// per-host measurements — the paper's per-domain vs per-IP distinction.
+    pub fn domain_records(&self, universe: &Universe) -> Vec<DomainRecord> {
+        universe
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(idx, domain)| {
+                let host_id = domain.host.filter(|&h| universe.hosts[h].addr(self.ipv6).is_some());
+                let measurement = host_id.and_then(|h| self.hosts.get(&h));
+                let quic = measurement.map(|m| m.quic_reachable).unwrap_or(false);
+                let mirror_use = if quic {
+                    measurement.map(|m| m.mirror_use()).unwrap_or_default()
+                } else {
+                    MirrorUse::default()
+                };
+                let class = if quic {
+                    measurement.and_then(|m| m.ecn_class())
+                } else {
+                    None
+                };
+                DomainRecord {
+                    domain_idx: idx,
+                    resolved: host_id.is_some(),
+                    host_id,
+                    quic,
+                    mirror_use,
+                    class,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of hosts reachable via QUIC in this snapshot.
+    pub fn quic_host_count(&self) -> usize {
+        self.hosts.values().filter(|m| m.quic_reachable).count()
+    }
+}
+
+/// The result of the main-vantage-point campaign: IPv4 plus optional IPv6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// IPv4 snapshot.
+    pub v4: SnapshotMeasurement,
+    /// IPv6 snapshot, if requested.
+    pub v6: Option<SnapshotMeasurement>,
+}
+
+/// Campaign runner bound to a universe.
+pub struct Campaign<'a> {
+    universe: &'a Universe,
+}
+
+impl<'a> Campaign<'a> {
+    /// Create a campaign runner.
+    pub fn new(universe: &'a Universe) -> Self {
+        Campaign { universe }
+    }
+
+    /// The universe being measured.
+    pub fn universe(&self) -> &Universe {
+        self.universe
+    }
+
+    /// Run one snapshot from one vantage point.
+    pub fn run_snapshot(
+        &self,
+        vantage: &VantagePoint,
+        options: &CampaignOptions,
+        ipv6: bool,
+    ) -> SnapshotMeasurement {
+        let scanner = Scanner::new(self.universe, vantage.clone(), options.scan_options(ipv6));
+        let measurements = scanner.scan_all();
+        SnapshotMeasurement {
+            date: options.date,
+            ipv6,
+            vantage: vantage.clone(),
+            hosts: measurements.into_iter().map(|m| (m.host_id, m)).collect(),
+        }
+    }
+
+    /// Run the main-vantage-point campaign (IPv4, optionally IPv6).
+    pub fn run_main(&self, options: &CampaignOptions, include_ipv6: bool) -> CampaignResult {
+        let main = VantagePoint::main();
+        let v4 = self.run_snapshot(&main, options, false);
+        let v6 = include_ipv6.then(|| {
+            // The paper's IPv6 run happened two weeks earlier (week 13/2023);
+            // model that by keeping the same month.
+            self.run_snapshot(&main, options, true)
+        });
+        CampaignResult { v4, v6 }
+    }
+
+    /// Run the longitudinal series (one IPv4 snapshot per month, Figure 3/4/8).
+    pub fn run_longitudinal(
+        &self,
+        dates: &[SnapshotDate],
+        options: &CampaignOptions,
+    ) -> Vec<SnapshotMeasurement> {
+        let main = VantagePoint::main();
+        dates
+            .iter()
+            .map(|&date| {
+                let opts = CampaignOptions { date, ..*options };
+                self.run_snapshot(&main, &opts, false)
+            })
+            .collect()
+    }
+
+    /// Run the distributed cloud campaign (§4.3 / §8).
+    ///
+    /// As in the paper, the cloud workers only probe hosts (IPs) that the
+    /// main vantage point found reachable via QUIC — the per-IP deduplication
+    /// that reduces load by a factor of ~40.  Each worker measures both
+    /// address families.
+    pub fn run_cloud(
+        &self,
+        main_v4: &SnapshotMeasurement,
+        main_v6: Option<&SnapshotMeasurement>,
+        options: &CampaignOptions,
+    ) -> Vec<(VantagePoint, SnapshotMeasurement, Option<SnapshotMeasurement>)> {
+        let v4_targets: Vec<usize> = main_v4
+            .hosts
+            .values()
+            .filter(|m| m.quic_reachable)
+            .map(|m| m.host_id)
+            .collect();
+        let v6_targets: Vec<usize> = main_v6
+            .map(|snapshot| {
+                snapshot
+                    .hosts
+                    .values()
+                    .filter(|m| m.quic_reachable)
+                    .map(|m| m.host_id)
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        VantagePoint::cloud_fleet()
+            .into_iter()
+            .map(|vantage| {
+                let scanner_v4 =
+                    Scanner::new(self.universe, vantage.clone(), options.scan_options(false));
+                let hosts_v4 = scanner_v4.scan_hosts(&v4_targets);
+                let snap_v4 = SnapshotMeasurement {
+                    date: options.date,
+                    ipv6: false,
+                    vantage: vantage.clone(),
+                    hosts: hosts_v4.into_iter().map(|m| (m.host_id, m)).collect(),
+                };
+                let snap_v6 = if v6_targets.is_empty() {
+                    None
+                } else {
+                    let scanner_v6 =
+                        Scanner::new(self.universe, vantage.clone(), options.scan_options(true));
+                    let hosts_v6 = scanner_v6.scan_hosts(&v6_targets);
+                    Some(SnapshotMeasurement {
+                        date: options.date,
+                        ipv6: true,
+                        vantage: vantage.clone(),
+                        hosts: hosts_v6.into_iter().map(|m| (m.host_id, m)).collect(),
+                    })
+                };
+                (vantage, snap_v4, snap_v6)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::EcnClass;
+    use qem_web::UniverseConfig;
+
+    fn universe() -> Universe {
+        Universe::generate(&UniverseConfig::tiny())
+    }
+
+    #[test]
+    fn main_campaign_produces_domain_records() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let result = campaign.run_main(&CampaignOptions::paper_default(), false);
+        let records = result.v4.domain_records(&universe);
+        assert_eq!(records.len(), universe.domains.len());
+        let quic = records.iter().filter(|r| r.quic).count();
+        let resolved = records.iter().filter(|r| r.resolved).count();
+        assert!(quic > 0);
+        assert!(resolved > quic);
+        // Mirroring domains are a small minority, capable even fewer.
+        let mirroring = records.iter().filter(|r| r.mirror_use.mirroring).count();
+        let capable = records
+            .iter()
+            .filter(|r| r.class == Some(EcnClass::Capable))
+            .count();
+        assert!(mirroring < quic / 4);
+        assert!(capable <= mirroring);
+    }
+
+    #[test]
+    fn ipv6_snapshot_covers_fewer_domains() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let result = campaign.run_main(&CampaignOptions::paper_default(), true);
+        let v6 = result.v6.unwrap();
+        let v4_quic = result
+            .v4
+            .domain_records(&universe)
+            .iter()
+            .filter(|r| r.quic)
+            .count();
+        let v6_quic = v6
+            .domain_records(&universe)
+            .iter()
+            .filter(|r| r.quic)
+            .count();
+        assert!(v6_quic < v4_quic);
+        assert!(v6_quic > 0);
+    }
+
+    #[test]
+    fn longitudinal_mirroring_dips_and_recovers() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let snapshots = campaign.run_longitudinal(
+            &[
+                SnapshotDate::JUN_2022,
+                SnapshotDate::FEB_2023,
+                SnapshotDate::APR_2023,
+            ],
+            &CampaignOptions::paper_default(),
+        );
+        let mirroring_domains: Vec<usize> = snapshots
+            .iter()
+            .map(|s| {
+                s.domain_records(&universe)
+                    .iter()
+                    .filter(|r| r.mirror_use.mirroring)
+                    .count()
+            })
+            .collect();
+        // The Figure 3 shape: decline from June 2022 to February 2023, strong
+        // recovery by April 2023.
+        assert!(mirroring_domains[1] < mirroring_domains[0]);
+        assert!(mirroring_domains[2] > mirroring_domains[0]);
+    }
+
+    #[test]
+    fn cloud_campaign_only_probes_deduplicated_quic_hosts() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let options = CampaignOptions {
+            workers: 2,
+            ..CampaignOptions::paper_default()
+        };
+        let main = campaign.run_main(&options, false);
+        let cloud = campaign.run_cloud(&main.v4, None, &options);
+        assert_eq!(cloud.len(), 16);
+        let main_quic = main.v4.quic_host_count();
+        for (vantage, snap_v4, snap_v6) in &cloud {
+            assert!(snap_v4.hosts.len() <= main_quic, "{}", vantage.name);
+            assert!(snap_v6.is_none());
+        }
+    }
+}

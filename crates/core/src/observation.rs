@@ -1,0 +1,217 @@
+//! Observation records and their classification into the paper's categories.
+
+use qem_quic::ecn::{EcnValidationFailure, EcnValidationState};
+use qem_quic::ClientReport;
+use qem_tcp::TcpReport;
+use qem_tracebox::TraceAnalysis;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The ECN validation classes of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EcnClass {
+    /// The host never mirrored any ECN counter.
+    NoMirroring,
+    /// Counters mirrored but fewer than sent (LiteSpeed bug class).
+    Undercount,
+    /// ECT(1) mirrored although ECT(0) was sent (stack mix-up or re-marking).
+    RemarkEct1,
+    /// Every packet reported CE.
+    AllCe,
+    /// Validation succeeded: the path is ECN-capable.
+    Capable,
+    /// Any other validation failure (non-monotonic counters, …).
+    Other,
+}
+
+impl EcnClass {
+    /// Classify a finished client report.  Returns `None` when the
+    /// connection never got far enough to judge ECN (handshake failure).
+    pub fn classify(report: &ClientReport) -> Option<EcnClass> {
+        if !report.connected {
+            return None;
+        }
+        if !report.peer_mirrored {
+            return Some(EcnClass::NoMirroring);
+        }
+        match report.ecn_state {
+            EcnValidationState::Capable => Some(EcnClass::Capable),
+            EcnValidationState::Failed(EcnValidationFailure::Undercount) => {
+                Some(EcnClass::Undercount)
+            }
+            EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint) => {
+                Some(EcnClass::RemarkEct1)
+            }
+            EcnValidationState::Failed(EcnValidationFailure::AllCe) => Some(EcnClass::AllCe),
+            EcnValidationState::Failed(EcnValidationFailure::NoMirroring) => {
+                Some(EcnClass::NoMirroring)
+            }
+            EcnValidationState::Failed(_) => Some(EcnClass::Other),
+            // Mirrored something but validation never concluded (e.g. too few
+            // ACKs before the connection ended): treat conservatively as not
+            // capable.
+            EcnValidationState::Testing | EcnValidationState::Unknown => Some(EcnClass::Other),
+        }
+    }
+
+    /// Label used in the rendered tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EcnClass::NoMirroring => "No Mirroring",
+            EcnClass::Undercount => "Undercount",
+            EcnClass::RemarkEct1 => "Re-Marking ECT(1)",
+            EcnClass::AllCe => "All CE",
+            EcnClass::Capable => "Capable",
+            EcnClass::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for EcnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The paper's "Mirroring" / "Use" terminology (§2.2.2) for one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MirrorUse {
+    /// The host mirrored ECN counters.
+    pub mirroring: bool,
+    /// The host set ECN codepoints on its own packets.
+    pub uses_ecn: bool,
+}
+
+/// Everything measured about one host from one vantage point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostMeasurement {
+    /// Host index in the universe.
+    pub host_id: usize,
+    /// Whether an HTTP/3-over-QUIC exchange succeeded.
+    pub quic_reachable: bool,
+    /// The QUIC client report, if a connection was attempted.
+    pub quic: Option<ClientReport>,
+    /// The TCP report, if a connection was attempted.
+    pub tcp: Option<TcpReport>,
+    /// Tracebox analysis, if the host was selected for tracing.
+    pub trace: Option<TraceAnalysis>,
+}
+
+impl HostMeasurement {
+    /// Mirroring / use summary for the QUIC measurement.
+    pub fn mirror_use(&self) -> MirrorUse {
+        match &self.quic {
+            Some(report) if report.connected => MirrorUse {
+                mirroring: report.peer_mirrored,
+                uses_ecn: report.server_used_ecn,
+            },
+            _ => MirrorUse::default(),
+        }
+    }
+
+    /// ECN validation class, if the host was reachable via QUIC.
+    pub fn ecn_class(&self) -> Option<EcnClass> {
+        self.quic.as_ref().and_then(EcnClass::classify)
+    }
+
+    /// The normalised HTTP server family reported by the host.
+    pub fn server_family(&self) -> Option<String> {
+        self.quic
+            .as_ref()
+            .and_then(|r| r.response.as_ref())
+            .and_then(|resp| resp.server_family())
+    }
+
+    /// The server's transport-parameter fingerprint.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.quic.as_ref().and_then(|r| r.transport_fingerprint)
+    }
+}
+
+/// A per-domain view of a snapshot: which host served it and what was
+/// measured there.  This is what the report builders consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainRecord {
+    /// Index of the domain in the universe.
+    pub domain_idx: usize,
+    /// Whether the domain resolved for the probed address family.
+    pub resolved: bool,
+    /// The host index, if resolved.
+    pub host_id: Option<usize>,
+    /// Whether the domain was reachable via QUIC.
+    pub quic: bool,
+    /// Mirroring / use summary.
+    pub mirror_use: MirrorUse,
+    /// Validation class, if reachable via QUIC.
+    pub class: Option<EcnClass>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_packet::ecn::EcnCounts;
+    use qem_packet::quic::QuicVersion;
+
+    fn report(connected: bool, mirrored: bool, state: EcnValidationState) -> ClientReport {
+        ClientReport {
+            connected,
+            response: None,
+            version: QuicVersion::V1,
+            server_transport_params: None,
+            transport_fingerprint: None,
+            ecn_state: state,
+            peer_mirrored: mirrored,
+            mirrored_counts: EcnCounts::ZERO,
+            sent_counts: EcnCounts::ZERO,
+            received_ecn: EcnCounts::ZERO,
+            server_used_ecn: false,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn unconnected_reports_are_not_classified() {
+        let r = report(false, false, EcnValidationState::Testing);
+        assert_eq!(EcnClass::classify(&r), None);
+    }
+
+    #[test]
+    fn classes_map_from_validation_outcomes() {
+        assert_eq!(
+            EcnClass::classify(&report(true, false, EcnValidationState::Failed(EcnValidationFailure::NoMirroring))),
+            Some(EcnClass::NoMirroring)
+        );
+        assert_eq!(
+            EcnClass::classify(&report(true, true, EcnValidationState::Capable)),
+            Some(EcnClass::Capable)
+        );
+        assert_eq!(
+            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::Undercount))),
+            Some(EcnClass::Undercount)
+        );
+        assert_eq!(
+            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint))),
+            Some(EcnClass::RemarkEct1)
+        );
+        assert_eq!(
+            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::AllCe))),
+            Some(EcnClass::AllCe)
+        );
+        assert_eq!(
+            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::NonMonotonic))),
+            Some(EcnClass::Other)
+        );
+    }
+
+    #[test]
+    fn mirroring_without_final_verdict_is_other() {
+        let r = report(true, true, EcnValidationState::Unknown);
+        assert_eq!(EcnClass::classify(&r), Some(EcnClass::Other));
+    }
+
+    #[test]
+    fn labels_match_table_5() {
+        assert_eq!(EcnClass::RemarkEct1.label(), "Re-Marking ECT(1)");
+        assert_eq!(EcnClass::NoMirroring.to_string(), "No Mirroring");
+    }
+}

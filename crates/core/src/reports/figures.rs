@@ -1,0 +1,633 @@
+//! Builders for Figures 3–8 (Figure 1 is the validation state machine itself,
+//! Figure 2 the pipeline diagram; neither carries data).
+
+use super::fmt_count;
+use crate::campaign::SnapshotMeasurement;
+use crate::observation::EcnClass;
+use crate::vantage::VantagePoint;
+use qem_web::{SnapshotDate, Universe};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// One month of Figure 3.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure3Point {
+    /// Snapshot date.
+    pub date: SnapshotDate,
+    /// Total QUIC-reachable com/net/org domains (the cyan line).
+    pub total_quic_domains: u64,
+    /// Mirroring domains by web-server family (the stacked bars):
+    /// "LiteSpeed", "Pepyaka", "Other", "Unknown".
+    pub mirroring_by_family: BTreeMap<String, u64>,
+}
+
+impl Figure3Point {
+    /// Total mirroring domains in this month.
+    pub fn mirroring_total(&self) -> u64 {
+        self.mirroring_by_family.values().sum()
+    }
+}
+
+/// Figure 3: ECN mirroring over time by web-server family.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure3 {
+    /// One point per snapshot, in chronological order.
+    pub points: Vec<Figure3Point>,
+}
+
+/// Normalise a server family string into the Figure 3 buckets.
+fn family_bucket(family: Option<&str>) -> String {
+    match family {
+        Some(f) if f.starts_with("LiteSpeed") => "LiteSpeed".to_string(),
+        Some(f) if f.starts_with("Pepyaka") => "Pepyaka".to_string(),
+        Some(_) => "Other".to_string(),
+        None => "Unknown".to_string(),
+    }
+}
+
+/// Build Figure 3 from a longitudinal series of IPv4 snapshots.
+pub fn figure3(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure3 {
+    let mut points = Vec::new();
+    for snapshot in snapshots {
+        // Identify stacks without a server header via transport-parameter
+        // fingerprints of hosts that do send one (§5.3).
+        let mut fingerprint_family: HashMap<u64, String> = HashMap::new();
+        for measurement in snapshot.hosts.values() {
+            if let (Some(family), Some(fp)) = (measurement.server_family(), measurement.fingerprint())
+            {
+                fingerprint_family.insert(fp, family);
+            }
+        }
+        let records = snapshot.domain_records(universe);
+        let mut by_family: BTreeMap<String, u64> = BTreeMap::new();
+        let mut total_quic = 0u64;
+        for record in &records {
+            if !universe.domains[record.domain_idx].lists.cno || !record.quic {
+                continue;
+            }
+            total_quic += 1;
+            if !record.mirror_use.mirroring {
+                continue;
+            }
+            let measurement = record.host_id.and_then(|h| snapshot.host(h));
+            let family = measurement.and_then(|m| {
+                m.server_family().or_else(|| {
+                    m.fingerprint()
+                        .and_then(|fp| fingerprint_family.get(&fp).cloned())
+                })
+            });
+            *by_family.entry(family_bucket(family.as_deref())).or_default() += 1;
+        }
+        points.push(Figure3Point {
+            date: snapshot.date,
+            total_quic_domains: total_quic,
+            mirroring_by_family: by_family,
+        });
+    }
+    Figure3 { points }
+}
+
+impl fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 3: HTTP/3 servers with observed ECN mirroring over time (com/net/org, IPv4)\n\
+             {:<8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "Month", "Total QUIC", "Mirroring", "LiteSpeed", "Pepyaka", "Other", "Unknown"
+        )?;
+        for point in &self.points {
+            let get = |k: &str| point.mirroring_by_family.get(k).copied().unwrap_or(0);
+            writeln!(
+                f,
+                "{:<8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                point.date.to_string(),
+                fmt_count(point.total_quic_domains),
+                fmt_count(point.mirroring_total()),
+                fmt_count(get("LiteSpeed")),
+                fmt_count(get("Pepyaka")),
+                fmt_count(get("Other")),
+                fmt_count(get("Unknown")),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 / Figure 8
+// ---------------------------------------------------------------------------
+
+/// Per-domain state used in the Figure 4 alluvial plot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum DomainState {
+    /// Not reachable via QUIC at that date.
+    Unavailable,
+    /// Reachable, not mirroring; the string is the QUIC version label ("v1", "d27", …).
+    NoMirroring(String),
+    /// Reachable and mirroring; the string is the QUIC version label.
+    Mirroring(String),
+}
+
+impl fmt::Display for DomainState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainState::Unavailable => write!(f, "Unavailable"),
+            DomainState::NoMirroring(v) => write!(f, "No Mirroring ({v})"),
+            DomainState::Mirroring(v) => write!(f, "Mirroring ({v})"),
+        }
+    }
+}
+
+/// Figure 4 / Figure 8: per-domain transitions across snapshots.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure4 {
+    /// The snapshot dates, in order.
+    pub dates: Vec<SnapshotDate>,
+    /// State counts per snapshot.
+    pub states: Vec<BTreeMap<DomainState, u64>>,
+    /// Transition counts between consecutive snapshots.
+    pub transitions: Vec<BTreeMap<(DomainState, DomainState), u64>>,
+}
+
+/// Build Figure 4 from (typically three) longitudinal snapshots.
+pub fn figure4(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure4 {
+    let mut per_domain_states: Vec<Vec<DomainState>> = Vec::new();
+    for snapshot in snapshots {
+        let records = snapshot.domain_records(universe);
+        let states: Vec<DomainState> = records
+            .iter()
+            .map(|record| {
+                if !record.quic {
+                    return DomainState::Unavailable;
+                }
+                let version = record
+                    .host_id
+                    .and_then(|h| snapshot.host(h))
+                    .and_then(|m| m.quic.as_ref())
+                    .map(|r| r.version.label())
+                    .unwrap_or_else(|| "v1".to_string());
+                if record.mirror_use.mirroring {
+                    DomainState::Mirroring(version)
+                } else {
+                    DomainState::NoMirroring(version)
+                }
+            })
+            .collect();
+        per_domain_states.push(states);
+    }
+
+    // Like the paper's alluvial plots, only domains that are part of the
+    // QUIC web at some point in the window are shown; the never-QUIC mass of
+    // the zone files would otherwise dwarf every flow.
+    let ever_quic: Vec<bool> = (0..universe.domains.len())
+        .map(|idx| {
+            per_domain_states
+                .iter()
+                .any(|states| states[idx] != DomainState::Unavailable)
+        })
+        .collect();
+    let cno_mask: Vec<bool> = universe
+        .domains
+        .iter()
+        .enumerate()
+        .map(|(idx, d)| d.lists.cno && ever_quic[idx])
+        .collect();
+    let mut states_counts = Vec::new();
+    for states in &per_domain_states {
+        let mut counts: BTreeMap<DomainState, u64> = BTreeMap::new();
+        for (idx, state) in states.iter().enumerate() {
+            if cno_mask[idx] {
+                *counts.entry(state.clone()).or_default() += 1;
+            }
+        }
+        states_counts.push(counts);
+    }
+    let mut transitions = Vec::new();
+    for window in per_domain_states.windows(2) {
+        let mut counts: BTreeMap<(DomainState, DomainState), u64> = BTreeMap::new();
+        for idx in 0..window[0].len() {
+            if cno_mask[idx] {
+                *counts
+                    .entry((window[0][idx].clone(), window[1][idx].clone()))
+                    .or_default() += 1;
+            }
+        }
+        transitions.push(counts);
+    }
+    Figure4 {
+        dates: snapshots.iter().map(|s| s.date).collect(),
+        states: states_counts,
+        transitions,
+    }
+}
+
+impl Figure4 {
+    /// Number of domains in a given state at snapshot index `at`.
+    pub fn count(&self, at: usize, state: &DomainState) -> u64 {
+        self.states
+            .get(at)
+            .and_then(|m| m.get(state))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of mirroring domains (any version) at snapshot index `at`.
+    pub fn mirroring_total(&self, at: usize) -> u64 {
+        self.states
+            .get(at)
+            .map(|m| {
+                m.iter()
+                    .filter(|(s, _)| matches!(s, DomainState::Mirroring(_)))
+                    .map(|(_, c)| c)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Figure4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4/8: QUIC ECN support transitions over time (com/net/org)")?;
+        for (i, date) in self.dates.iter().enumerate() {
+            writeln!(f, "  {date}:")?;
+            for (state, count) in &self.states[i] {
+                writeln!(f, "    {:<22} {:>12}", state.to_string(), fmt_count(*count))?;
+            }
+        }
+        for (i, transition) in self.transitions.iter().enumerate() {
+            writeln!(f, "  {} -> {} (flows >= 1% of domains):", self.dates[i], self.dates[i + 1])?;
+            let total: u64 = transition.values().sum();
+            let mut flows: Vec<_> = transition.iter().collect();
+            flows.sort_by(|a, b| b.1.cmp(a.1));
+            for ((from, to), count) in flows {
+                if *count * 100 >= total {
+                    writeln!(
+                        f,
+                        "    {:<22} -> {:<22} {:>12}",
+                        from.to_string(),
+                        to.to_string(),
+                        fmt_count(*count)
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// The four mirroring/use quadrants of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum MirrorUseQuadrant {
+    /// Mirrors, does not use.
+    MirroringNoUse,
+    /// Mirrors and uses.
+    MirroringUse,
+    /// Neither mirrors nor uses.
+    NoMirroringNoUse,
+    /// Uses without mirroring.
+    NoMirroringUse,
+}
+
+impl MirrorUseQuadrant {
+    fn of(mirroring: bool, uses: bool) -> Self {
+        match (mirroring, uses) {
+            (true, false) => MirrorUseQuadrant::MirroringNoUse,
+            (true, true) => MirrorUseQuadrant::MirroringUse,
+            (false, false) => MirrorUseQuadrant::NoMirroringNoUse,
+            (false, true) => MirrorUseQuadrant::NoMirroringUse,
+        }
+    }
+
+    /// Label as used in the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            MirrorUseQuadrant::MirroringNoUse => "Mirroring, No Use",
+            MirrorUseQuadrant::MirroringUse => "Mirroring, Use",
+            MirrorUseQuadrant::NoMirroringNoUse => "No Mirroring, No Use",
+            MirrorUseQuadrant::NoMirroringUse => "No Mirroring, Use",
+        }
+    }
+}
+
+/// Figure 5: IPv4 ↔ IPv6 relation of visible ECN support (com/net/org).
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure5 {
+    /// Domain counts per quadrant via IPv4.
+    pub v4: BTreeMap<MirrorUseQuadrant, u64>,
+    /// Domain counts per quadrant via IPv6.
+    pub v6: BTreeMap<MirrorUseQuadrant, u64>,
+    /// Domains reachable via IPv4 QUIC but not via IPv6 QUIC.
+    pub v4_only: u64,
+    /// Cross-tabulation for domains reachable via both.
+    pub cross: BTreeMap<(MirrorUseQuadrant, MirrorUseQuadrant), u64>,
+}
+
+/// Build Figure 5 by joining the IPv4 and IPv6 snapshots per domain.
+pub fn figure5(
+    universe: &Universe,
+    v4: &SnapshotMeasurement,
+    v6: &SnapshotMeasurement,
+) -> Figure5 {
+    let records_v4 = v4.domain_records(universe);
+    let records_v6 = v6.domain_records(universe);
+    let mut fig = Figure5 {
+        v4: BTreeMap::new(),
+        v6: BTreeMap::new(),
+        v4_only: 0,
+        cross: BTreeMap::new(),
+    };
+    for (r4, r6) in records_v4.iter().zip(&records_v6) {
+        if !universe.domains[r4.domain_idx].lists.cno {
+            continue;
+        }
+        let q4 = r4
+            .quic
+            .then(|| MirrorUseQuadrant::of(r4.mirror_use.mirroring, r4.mirror_use.uses_ecn));
+        let q6 = r6
+            .quic
+            .then(|| MirrorUseQuadrant::of(r6.mirror_use.mirroring, r6.mirror_use.uses_ecn));
+        if let Some(q) = q4 {
+            *fig.v4.entry(q).or_default() += 1;
+        }
+        if let Some(q) = q6 {
+            *fig.v6.entry(q).or_default() += 1;
+        }
+        match (q4, q6) {
+            (Some(a), Some(b)) => *fig.cross.entry((a, b)).or_default() += 1,
+            (Some(_), None) => fig.v4_only += 1,
+            _ => {}
+        }
+    }
+    fig
+}
+
+impl fmt::Display for Figure5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5: IPv4 vs IPv6 visible ECN support (com/net/org)")?;
+        writeln!(f, "  {:<24} {:>12} {:>12}", "Class", "IPv4", "IPv6")?;
+        for quadrant in [
+            MirrorUseQuadrant::MirroringNoUse,
+            MirrorUseQuadrant::MirroringUse,
+            MirrorUseQuadrant::NoMirroringNoUse,
+            MirrorUseQuadrant::NoMirroringUse,
+        ] {
+            writeln!(
+                f,
+                "  {:<24} {:>12} {:>12}",
+                quadrant.label(),
+                fmt_count(self.v4.get(&quadrant).copied().unwrap_or(0)),
+                fmt_count(self.v6.get(&quadrant).copied().unwrap_or(0)),
+            )?;
+        }
+        writeln!(
+            f,
+            "  (domains QUIC-reachable via IPv4 only: {})",
+            fmt_count(self.v4_only)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// TCP-side categories of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum TcpCategory {
+    /// ECN negotiated, CE mirrored, host does not use ECN.
+    CeMirrorNoUseNegotiated,
+    /// ECN negotiated, CE mirrored, host uses ECN.
+    CeMirrorUseNegotiated,
+    /// ECN negotiated but CE not mirrored, host does not use ECN.
+    NoCeMirrorNoUseNegotiated,
+    /// ECN negotiated but CE not mirrored, host uses ECN.
+    NoCeMirrorUseNegotiated,
+    /// ECN not negotiated.
+    NoNegotiation,
+}
+
+impl TcpCategory {
+    /// Label as in the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            TcpCategory::CeMirrorNoUseNegotiated => "CE Mirroring, No Use, Negotiation",
+            TcpCategory::CeMirrorUseNegotiated => "CE Mirroring, Use, Negotiation",
+            TcpCategory::NoCeMirrorNoUseNegotiated => "No CE Mirroring, No Use, Negotiation",
+            TcpCategory::NoCeMirrorUseNegotiated => "No CE Mirroring, Use, Negotiation",
+            TcpCategory::NoNegotiation => "No Negotiation",
+        }
+    }
+}
+
+/// QUIC-side categories of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum QuicCeCategory {
+    /// CE counter mirrored, host does not use ECN.
+    CeMirrorNoUse,
+    /// CE counter mirrored, host uses ECN.
+    CeMirrorUse,
+    /// No CE mirroring, no use.
+    NoCeMirrorNoUse,
+    /// No CE mirroring but the host uses ECN.
+    NoCeMirrorUse,
+}
+
+impl QuicCeCategory {
+    /// Label as in the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuicCeCategory::CeMirrorNoUse => "CE Mirroring, No Use",
+            QuicCeCategory::CeMirrorUse => "CE Mirroring, Use",
+            QuicCeCategory::NoCeMirrorNoUse => "No CE Mirroring, No Use",
+            QuicCeCategory::NoCeMirrorUse => "No CE Mirroring, Use",
+        }
+    }
+}
+
+/// Figure 6: TCP ↔ QUIC CE-mirroring relation (the week-20 CE-probing run).
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure6 {
+    /// Domain counts per TCP category (TCP-reachable c/n/o domains).
+    pub tcp: BTreeMap<TcpCategory, u64>,
+    /// Domain counts per QUIC category (QUIC-reachable c/n/o domains).
+    pub quic: BTreeMap<QuicCeCategory, u64>,
+    /// Cross-tabulation for domains measured via both protocols.
+    pub cross: BTreeMap<(TcpCategory, QuicCeCategory), u64>,
+}
+
+/// Build Figure 6 from the CE-probing snapshot (QUIC and TCP measured in parallel).
+pub fn figure6(universe: &Universe, snapshot: &SnapshotMeasurement) -> Figure6 {
+    let records = snapshot.domain_records(universe);
+    let mut fig = Figure6 {
+        tcp: BTreeMap::new(),
+        quic: BTreeMap::new(),
+        cross: BTreeMap::new(),
+    };
+    for record in &records {
+        if !universe.domains[record.domain_idx].lists.cno {
+            continue;
+        }
+        let Some(host) = record.host_id else { continue };
+        let Some(measurement) = snapshot.host(host) else { continue };
+        let tcp_category = measurement.tcp.as_ref().filter(|t| t.connected).map(|t| {
+            if !t.negotiated {
+                TcpCategory::NoNegotiation
+            } else {
+                match (t.ce_mirrored, t.server_used_ecn) {
+                    (true, false) => TcpCategory::CeMirrorNoUseNegotiated,
+                    (true, true) => TcpCategory::CeMirrorUseNegotiated,
+                    (false, false) => TcpCategory::NoCeMirrorNoUseNegotiated,
+                    (false, true) => TcpCategory::NoCeMirrorUseNegotiated,
+                }
+            }
+        });
+        let quic_category = measurement
+            .quic
+            .as_ref()
+            .filter(|q| q.connected)
+            .map(|q| {
+                let ce_mirrored = q.mirrored_counts.ce > 0;
+                match (ce_mirrored, q.server_used_ecn) {
+                    (true, false) => QuicCeCategory::CeMirrorNoUse,
+                    (true, true) => QuicCeCategory::CeMirrorUse,
+                    (false, false) => QuicCeCategory::NoCeMirrorNoUse,
+                    (false, true) => QuicCeCategory::NoCeMirrorUse,
+                }
+            });
+        if let Some(t) = tcp_category {
+            *fig.tcp.entry(t).or_default() += 1;
+        }
+        if let Some(q) = quic_category {
+            *fig.quic.entry(q).or_default() += 1;
+        }
+        if let (Some(t), Some(q)) = (tcp_category, quic_category) {
+            *fig.cross.entry((t, q)).or_default() += 1;
+        }
+    }
+    fig
+}
+
+impl fmt::Display for Figure6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6: TCP vs QUIC visible ECN support with CE probing (com/net/org, IPv4)")?;
+        writeln!(f, "  TCP:")?;
+        for (category, count) in &self.tcp {
+            writeln!(f, "    {:<40} {:>12}", category.label(), fmt_count(*count))?;
+        }
+        writeln!(f, "  QUIC:")?;
+        for (category, count) in &self.quic {
+            writeln!(f, "    {:<40} {:>12}", category.label(), fmt_count(*count))?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// One vantage point of Figure 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure7Row {
+    /// Vantage point name.
+    pub vantage: String,
+    /// Platform marker ('M', 'A' or 'V').
+    pub marker: char,
+    /// Share of (domain-weighted) QUIC domains passing ECN validation, IPv4.
+    pub capable_share_v4: f64,
+    /// Share for IPv6, if measured.
+    pub capable_share_v6: Option<f64>,
+    /// Number of hosts probed from this vantage point.
+    pub hosts_probed: usize,
+}
+
+/// Figure 7: global view on QUIC ECN validation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure7 {
+    /// One row per vantage point.
+    pub rows: Vec<Figure7Row>,
+}
+
+/// Build Figure 7.  Cloud workers probe deduplicated IPs only, so the shares
+/// are re-weighted by the main vantage point's domain-to-IP mapping, exactly
+/// as the paper does.
+pub fn figure7(
+    universe: &Universe,
+    main_v4: &SnapshotMeasurement,
+    cloud: &[(VantagePoint, SnapshotMeasurement, Option<SnapshotMeasurement>)],
+) -> Figure7 {
+    // Domain weight per host, from the main vantage point's IPv4 view.
+    let mut weight: HashMap<usize, u64> = HashMap::new();
+    let mut total_weight = 0u64;
+    for record in main_v4.domain_records(universe) {
+        if !universe.domains[record.domain_idx].lists.cno || !record.quic {
+            continue;
+        }
+        if let Some(host) = record.host_id {
+            *weight.entry(host).or_default() += 1;
+            total_weight += 1;
+        }
+    }
+    let share = |snapshot: &SnapshotMeasurement| -> f64 {
+        if total_weight == 0 {
+            return 0.0;
+        }
+        let capable: u64 = snapshot
+            .hosts
+            .values()
+            .filter(|m| m.ecn_class() == Some(EcnClass::Capable))
+            .map(|m| weight.get(&m.host_id).copied().unwrap_or(0))
+            .sum();
+        capable as f64 / total_weight as f64
+    };
+    let mut rows = Vec::new();
+    rows.push(Figure7Row {
+        vantage: main_v4.vantage.name.clone(),
+        marker: main_v4.vantage.provider.marker(),
+        capable_share_v4: share(main_v4),
+        capable_share_v6: None,
+        hosts_probed: main_v4.hosts.len(),
+    });
+    for (vantage, v4, v6) in cloud {
+        rows.push(Figure7Row {
+            vantage: vantage.name.clone(),
+            marker: vantage.provider.marker(),
+            capable_share_v4: share(v4),
+            capable_share_v6: v6.as_ref().map(&share),
+            hosts_probed: v4.hosts.len(),
+        });
+    }
+    Figure7 { rows }
+}
+
+impl fmt::Display for Figure7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7: domains passing QUIC ECN validation per vantage point\n  {:<24} {:>8} {:>10} {:>10}",
+            "Vantage point", "Kind", "IPv4", "IPv6"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<24} {:>8} {:>9.2}% {:>10}",
+                row.vantage,
+                row.marker,
+                row.capable_share_v4 * 100.0,
+                row.capable_share_v6
+                    .map(|s| format!("{:.2}%", s * 100.0))
+                    .unwrap_or_else(|| "-".to_string()),
+            )?;
+        }
+        Ok(())
+    }
+}

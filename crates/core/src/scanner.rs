@@ -1,0 +1,460 @@
+//! The zgrab2-style scanner: probes hosts with QUIC (HTTP/3) and TCP
+//! (HTTP/2 / HTTP/1.1), records ECN observations and, for abnormal hosts,
+//! follows up with a tracebox measurement.
+//!
+//! Hosts are scanned in parallel over a crossbeam work queue.  Each host gets
+//! its own deterministic RNG derived from the scan seed and the host id, so a
+//! scan produces identical results regardless of worker count or scheduling.
+
+use crate::observation::{EcnClass, HostMeasurement};
+use crate::vantage::VantagePoint;
+use crossbeam::channel;
+use qem_netsim::{build_duplex_path, Asn, DuplexPath, TransitProfile};
+use qem_quic::behavior::EcnMirroringBehavior;
+use qem_quic::{run_connection, ClientConfig, DriverConfig, EcnConfig};
+use qem_tcp::{run_tcp_connection, TcpClientConfig};
+use qem_tracebox::{analyze_trace, trace_path, TraceConfig};
+use qem_web::{SnapshotDate, StackProfile, Universe};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// What the probes carry on the forward path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeMode {
+    /// The standard methodology: ECT(0) plus ECN validation (§4.1).
+    Ect0,
+    /// The §6.3 comparison run: replace ECT(0) with CE on both QUIC and TCP.
+    ForceCe,
+}
+
+/// Scanner options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanOptions {
+    /// Snapshot date (selects the stack behaviour of every host).
+    pub date: SnapshotDate,
+    /// Probe IPv6 instead of IPv4.
+    pub ipv6: bool,
+    /// Probe codepoint / mode.
+    pub probe: ProbeMode,
+    /// Probability that an abnormal host is traced (the paper samples 20 %).
+    pub trace_sample_probability: f64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Seed for all per-host randomness.
+    pub seed: u64,
+}
+
+impl ScanOptions {
+    /// The paper's main-vantage-point configuration for a given date.
+    pub fn paper_default(date: SnapshotDate) -> Self {
+        ScanOptions {
+            date,
+            ipv6: false,
+            probe: ProbeMode::Ect0,
+            trace_sample_probability: 0.2,
+            workers: 4,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Same, but probing IPv6.
+    pub fn ipv6(date: SnapshotDate) -> Self {
+        ScanOptions {
+            ipv6: true,
+            ..ScanOptions::paper_default(date)
+        }
+    }
+}
+
+/// The scanner.
+pub struct Scanner<'a> {
+    universe: &'a Universe,
+    vantage: VantagePoint,
+    options: ScanOptions,
+    /// Number of domains served by each host; tracebox sampling is applied
+    /// per domain (with each IP traced at most once), so heavy-hitter IPs are
+    /// almost always covered — exactly the property §6.1 relies on.
+    domain_weight: Vec<u32>,
+}
+
+impl<'a> Scanner<'a> {
+    /// Create a scanner for one vantage point.
+    pub fn new(universe: &'a Universe, vantage: VantagePoint, options: ScanOptions) -> Self {
+        let mut domain_weight = vec![0u32; universe.hosts.len()];
+        for domain in &universe.domains {
+            if let Some(host) = domain.host {
+                domain_weight[host] += 1;
+            }
+        }
+        Scanner {
+            universe,
+            vantage,
+            options,
+            domain_weight,
+        }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &ScanOptions {
+        &self.options
+    }
+
+    /// Scan every host that has an address in the requested family.
+    pub fn scan_all(&self) -> Vec<HostMeasurement> {
+        let ids: Vec<usize> = self
+            .universe
+            .hosts
+            .iter()
+            .filter(|h| h.addr(self.options.ipv6).is_some())
+            .map(|h| h.id)
+            .collect();
+        self.scan_hosts(&ids)
+    }
+
+    /// Scan a specific set of hosts in parallel.
+    pub fn scan_hosts(&self, host_ids: &[usize]) -> Vec<HostMeasurement> {
+        let workers = self.options.workers.max(1);
+        if workers == 1 || host_ids.len() < 32 {
+            let mut out: Vec<HostMeasurement> =
+                host_ids.iter().map(|&id| self.measure_host(id)).collect();
+            out.sort_by_key(|m| m.host_id);
+            return out;
+        }
+        let (job_tx, job_rx) = channel::unbounded::<usize>();
+        let (result_tx, result_rx) = channel::unbounded::<HostMeasurement>();
+        for &id in host_ids {
+            job_tx.send(id).expect("queue jobs");
+        }
+        drop(job_tx);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(id) = job_rx.recv() {
+                        let measurement = self.measure_host(id);
+                        if result_tx.send(measurement).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+        })
+        .expect("scanner worker panicked");
+        let mut out: Vec<HostMeasurement> = result_rx.iter().collect();
+        out.sort_by_key(|m| m.host_id);
+        out
+    }
+
+    /// Measure one host: QUIC, TCP and (sampled) tracebox.
+    pub fn measure_host(&self, host_id: usize) -> HostMeasurement {
+        let host = &self.universe.hosts[host_id];
+        let mut rng = StdRng::seed_from_u64(
+            self.options
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(host_id as u64),
+        );
+        let v6 = self.options.ipv6;
+        let Some(server_addr) = host.addr(v6) else {
+            return HostMeasurement {
+                host_id,
+                quic_reachable: false,
+                quic: None,
+                tcp: None,
+                trace: None,
+            };
+        };
+        let client_addr = self.client_addr(v6);
+        let path = self.path_to(host_id, v6, &mut rng);
+
+        // ---- QUIC ---------------------------------------------------------
+        let behavior = self.effective_quic_behavior(host_id);
+        let quic_report = behavior.map(|behavior| {
+            let sni = format!("www.host-{host_id}.example");
+            let client_config = match self.options.probe {
+                ProbeMode::Ect0 => ClientConfig::paper_default(&sni),
+                ProbeMode::ForceCe => ClientConfig::force_ce(&sni),
+            };
+            let driver = DriverConfig::new(client_addr, server_addr);
+            run_connection(client_config, behavior, &path, &driver, &mut rng).report
+        });
+        let quic_reachable = quic_report
+            .as_ref()
+            .map(|r| r.connected && r.response.is_some())
+            .unwrap_or(false);
+
+        // ---- TCP ----------------------------------------------------------
+        let tcp_config = match self.options.probe {
+            ProbeMode::Ect0 => TcpClientConfig::ect0(),
+            ProbeMode::ForceCe => TcpClientConfig::force_ce(),
+        };
+        let tcp_report = Some(run_tcp_connection(
+            tcp_config,
+            host.tcp_behavior(),
+            client_addr,
+            server_addr,
+            &path,
+            &mut rng,
+        ));
+
+        // ---- Tracebox (sampled, only on abnormal behaviour) ----------------
+        let abnormal = match quic_report.as_ref().and_then(EcnClass::classify) {
+            Some(EcnClass::Capable) | None => false,
+            Some(_) => true,
+        };
+        // Per-domain sampling, at most one trace per IP: an IP serving `n`
+        // domains is traced with probability 1 - (1-p)^n.
+        let per_domain_p = self.options.trace_sample_probability.clamp(0.0, 1.0);
+        let weight = self.domain_weight.get(host_id).copied().unwrap_or(1).max(1);
+        let host_trace_p = 1.0 - (1.0 - per_domain_p).powi(weight.min(1_000) as i32);
+        let trace = if abnormal && rng.gen_bool(host_trace_p) {
+            let trace = trace_path(
+                &path.forward,
+                client_addr,
+                server_addr,
+                &TraceConfig::default(),
+                &mut rng,
+            );
+            let as_org = &self.universe.as_org;
+            Some(analyze_trace(&trace, &|ip| as_org.asn_of_ip(ip)))
+        } else {
+            None
+        };
+
+        HostMeasurement {
+            host_id,
+            quic_reachable,
+            quic: quic_report,
+            tcp: tcp_report,
+            trace,
+        }
+    }
+
+    /// ECN configuration used by the QUIC client (exposed for the ablation
+    /// benches, which swap in the RFC's 10-packet budget).
+    pub fn ecn_config(&self) -> EcnConfig {
+        match self.options.probe {
+            ProbeMode::Ect0 => EcnConfig::paper_default(),
+            ProbeMode::ForceCe => EcnConfig::force_ce(),
+        }
+    }
+
+    fn client_addr(&self, v6: bool) -> IpAddr {
+        if v6 {
+            IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 0x10))
+        } else {
+            IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10))
+        }
+    }
+
+    /// The path from this vantage point to the host, after applying the
+    /// location quirks that are part of the simulated world.
+    fn path_to(&self, host_id: usize, v6: bool, rng: &mut StdRng) -> DuplexPath {
+        let host = &self.universe.hosts[host_id];
+        let mut transit = if v6 { host.transit_v6 } else { host.transit_v4 };
+        if !v6 {
+            let quirks = &self.vantage.quirks;
+            match transit {
+                TransitProfile::Clean if quirks.extra_remark_probability > 0.0 => {
+                    if rng.gen_bool(quirks.extra_remark_probability.clamp(0.0, 1.0)) {
+                        transit = TransitProfile::Remarking { asn: Asn::ARELION };
+                    }
+                }
+                TransitProfile::Remarking { .. } if quirks.remark_suppression_probability > 0.0 => {
+                    if rng.gen_bool(quirks.remark_suppression_probability.clamp(0.0, 1.0)) {
+                        transit = TransitProfile::Clean;
+                    }
+                }
+                _ => {}
+            }
+        }
+        build_duplex_path(self.vantage.asn, host.asn, transit, TransitProfile::Clean, v6)
+    }
+
+    /// The QUIC behaviour of the host at the scan date, after location quirks.
+    fn effective_quic_behavior(
+        &self,
+        host_id: usize,
+    ) -> Option<qem_quic::behavior::ServerBehavior> {
+        let host = &self.universe.hosts[host_id];
+        let mut behavior = host.quic_behavior_at(self.options.date)?;
+        let quirks = &self.vantage.quirks;
+        if quirks.wix_unreachable && host.stack == Some(StackProfile::GooglePepyakaProxy) {
+            return None;
+        }
+        if quirks.google_ce_anomaly
+            && matches!(
+                host.stack,
+                Some(
+                    StackProfile::GoogleFrontend
+                        | StackProfile::GooglePepyakaProxy
+                        | StackProfile::GoogleEct1Remark
+                )
+            )
+        {
+            behavior.mirroring = if host_id % 3 == 0 {
+                EcnMirroringBehavior::AlwaysCe
+            } else {
+                EcnMirroringBehavior::MirrorOnlyHandshake
+            };
+        }
+        Some(behavior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_web::UniverseConfig;
+
+    fn universe() -> Universe {
+        Universe::generate(&UniverseConfig::tiny())
+    }
+
+    #[test]
+    fn scan_is_deterministic_across_worker_counts() {
+        let universe = universe();
+        let quic_hosts: Vec<usize> = universe
+            .hosts
+            .iter()
+            .filter(|h| h.stack.is_some())
+            .map(|h| h.id)
+            .take(40)
+            .collect();
+        let options = ScanOptions::paper_default(SnapshotDate::APR_2023);
+        let single = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions {
+                workers: 1,
+                ..options
+            },
+        )
+        .scan_hosts(&quic_hosts);
+        let parallel = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions {
+                workers: 4,
+                ..options
+            },
+        )
+        .scan_hosts(&quic_hosts);
+        assert_eq!(single, parallel);
+    }
+
+    #[test]
+    fn quic_hosts_answer_and_tcp_hosts_do_not_speak_quic() {
+        let universe = universe();
+        let scanner = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions::paper_default(SnapshotDate::APR_2023),
+        );
+        let quic_host = universe.hosts.iter().find(|h| h.stack.is_some()).unwrap();
+        let tcp_host = universe.hosts.iter().find(|h| h.stack.is_none()).unwrap();
+        let m = scanner.measure_host(quic_host.id);
+        assert!(m.quic.is_some());
+        assert!(m.tcp.as_ref().unwrap().connected);
+        let m = scanner.measure_host(tcp_host.id);
+        assert!(m.quic.is_none());
+        assert!(!m.quic_reachable);
+        assert!(m.tcp.as_ref().unwrap().connected);
+    }
+
+    #[test]
+    fn abnormal_hosts_get_traced_when_sampling_is_certain() {
+        let universe = universe();
+        let scanner = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions {
+                trace_sample_probability: 1.0,
+                ..ScanOptions::paper_default(SnapshotDate::APR_2023)
+            },
+        );
+        // A Cloudflare host never mirrors → always abnormal → always traced.
+        let cf = universe
+            .providers
+            .iter()
+            .position(|p| p.name == "Cloudflare")
+            .unwrap();
+        let host = universe
+            .hosts
+            .iter()
+            .find(|h| h.provider == cf && h.stack.is_some())
+            .unwrap();
+        let m = scanner.measure_host(host.id);
+        assert!(m.trace.is_some());
+        assert!(!m.trace.unwrap().is_impaired());
+    }
+
+    #[test]
+    fn capable_hosts_are_not_traced() {
+        let universe = universe();
+        let scanner = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions {
+                trace_sample_probability: 1.0,
+                ..ScanOptions::paper_default(SnapshotDate::APR_2023)
+            },
+        );
+        let amazon = universe
+            .providers
+            .iter()
+            .position(|p| p.name == "Amazon")
+            .unwrap();
+        let host = universe
+            .hosts
+            .iter()
+            .find(|h| h.provider == amazon && h.segment == "cloudfront")
+            .unwrap();
+        let m = scanner.measure_host(host.id);
+        assert_eq!(m.ecn_class(), Some(EcnClass::Capable));
+        assert!(m.trace.is_none());
+    }
+
+    #[test]
+    fn cleared_paths_yield_no_mirroring_and_a_cleared_trace() {
+        let universe = universe();
+        let scanner = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions {
+                trace_sample_probability: 1.0,
+                ..ScanOptions::paper_default(SnapshotDate::APR_2023)
+            },
+        );
+        let host = universe
+            .hosts
+            .iter()
+            .find(|h| {
+                matches!(h.transit_v4, TransitProfile::Clearing { .. }) && h.stack.is_some()
+            })
+            .unwrap();
+        let m = scanner.measure_host(host.id);
+        assert_eq!(m.ecn_class(), Some(EcnClass::NoMirroring));
+        let trace = m.trace.expect("abnormal host must be traced");
+        assert!(trace.is_impaired());
+    }
+
+    #[test]
+    fn ipv6_scan_only_covers_dual_stack_hosts() {
+        let universe = universe();
+        let scanner = Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions::ipv6(SnapshotDate::APR_2023),
+        );
+        let results = scanner.scan_all();
+        assert!(!results.is_empty());
+        for m in &results {
+            assert!(universe.hosts[m.host_id].ipv6.is_some());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! A deterministic, packet-level Internet path simulator.
+//!
+//! The measurement study observes how routers between a vantage point and a
+//! web server treat the ECN bits of IP packets: most forward them untouched,
+//! some clear them (the paper attributes the bulk of IPv4 clearing to a
+//! single transit provider, AS 1299), some re-mark `ECT(0)` to `ECT(1)`, and
+//! a few mark every packet `CE`.  This crate models exactly that: a
+//! [`Path`](path::Path) is an ordered list of [`Hop`](path::Hop)s, each owned
+//! by a [`Router`](router::Router) with an [`EcnPolicy`](policy::EcnPolicy)
+//! and a DSCP policy, a propagation delay, and a loss probability.  Routers
+//! decrement the TTL and answer with ICMP *time exceeded* quotations, which is
+//! what makes the tracebox methodology (paper §4.2) work against the
+//! simulator.
+//!
+//! Design notes:
+//!
+//! * **Determinism** — all randomness (loss, AQM marking, ICMP rate limiting)
+//!   is drawn from an explicit [`rand::Rng`] handed in by the caller, so a
+//!   seeded campaign is exactly reproducible.
+//! * **Sans-IO** — the simulator never spawns tasks or touches sockets; it
+//!   transforms [`IpDatagram`](qem_packet::IpDatagram)s and reports what a
+//!   real network would have done via [`TransitOutcome`](path::TransitOutcome).
+//! * **Virtual time** — endpoints run against [`SimClock`](time::SimClock);
+//!   path delays and endpoint timers (PTO, idle timeout) share the same
+//!   timeline, so handshake timeouts behave like the paper's 10 s budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aqm;
+pub mod path;
+pub mod policy;
+pub mod router;
+pub mod time;
+pub mod topology;
+
+pub use aqm::{AqmConfig, AqmKind};
+pub use path::{DuplexPath, Hop, Path, TransitOutcome};
+pub use policy::{DscpPolicy, EcnPolicy};
+pub use router::{IcmpBehavior, Router, RouterId};
+pub use time::{SimClock, SimDuration, SimInstant};
+pub use topology::{build_duplex_path, build_transit_path, Asn, PathBuilder, TransitProfile};

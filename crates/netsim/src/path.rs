@@ -1,0 +1,460 @@
+//! Forwarding paths: ordered router hops that forward, rewrite, drop or
+//! answer packets with ICMP.
+
+use crate::router::Router;
+use crate::time::SimDuration;
+use qem_packet::ecn::EcnCodepoint;
+use qem_packet::icmp::IcmpMessage;
+use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+use crate::aqm::AqmDecision;
+
+/// One hop of a forwarding path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hop {
+    /// The router owning this hop.
+    pub router: Router,
+    /// One-way propagation + processing delay contributed by this hop.
+    pub delay: SimDuration,
+    /// Probability in `[0, 1]` that a packet is lost at this hop.
+    pub loss: f64,
+}
+
+impl Hop {
+    /// A hop with the default 5 ms delay and no loss.
+    pub fn new(router: Router) -> Self {
+        Hop {
+            router,
+            delay: SimDuration::from_millis(5),
+            loss: 0.0,
+        }
+    }
+
+    /// Set the hop delay.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Set the hop loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// What happened to a datagram sent down a [`Path`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitOutcome {
+    /// The datagram reached the far end, possibly with rewritten ECN / DSCP.
+    Delivered {
+        /// The datagram as it arrives at the destination.
+        datagram: IpDatagram,
+        /// Total one-way delay accumulated on the path.
+        delay: SimDuration,
+    },
+    /// The datagram was dropped (queue loss or AQM drop).
+    Dropped {
+        /// Index of the hop at which the packet was lost.
+        at_hop: usize,
+    },
+    /// The TTL expired at a router, which answered with an ICMP
+    /// *time exceeded* message.
+    TimeExceeded {
+        /// Index of the hop whose router answered.
+        at_hop: usize,
+        /// The ICMP datagram travelling back to the sender.
+        response: IpDatagram,
+        /// Delay until the ICMP response arrives back at the sender.
+        delay: SimDuration,
+    },
+    /// The TTL expired but the router stayed silent (ICMP rate limiting,
+    /// filtering, or blackholing).
+    Expired {
+        /// Index of the hop at which the TTL ran out.
+        at_hop: usize,
+    },
+}
+
+impl TransitOutcome {
+    /// The delivered datagram, if any.
+    pub fn delivered(self) -> Option<(IpDatagram, SimDuration)> {
+        match self {
+            TransitOutcome::Delivered { datagram, delay } => Some((datagram, delay)),
+            _ => None,
+        }
+    }
+
+    /// Whether the datagram reached the destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, TransitOutcome::Delivered { .. })
+    }
+}
+
+/// A unidirectional forwarding path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Path {
+    /// The hops, in forwarding order (nearest to the sender first).
+    pub hops: Vec<Hop>,
+}
+
+impl Path {
+    /// An empty (zero-hop, loss-free, delay-free) path; useful in unit tests.
+    pub fn empty() -> Self {
+        Path { hops: Vec::new() }
+    }
+
+    /// Build a path from hops.
+    pub fn new(hops: Vec<Hop>) -> Self {
+        Path { hops }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Sum of all hop delays (the one-way latency of the path).
+    pub fn one_way_delay(&self) -> SimDuration {
+        self.hops
+            .iter()
+            .fold(SimDuration::ZERO, |acc, hop| acc + hop.delay)
+    }
+
+    /// The ECN codepoint a packet sent with `sent` would carry on arrival,
+    /// ignoring loss, AQM randomness and TTL.  This is the "ground truth"
+    /// the measurement pipeline compares observations against.
+    pub fn expected_arrival_ecn(&self, sent: EcnCodepoint) -> EcnCodepoint {
+        self.hops
+            .iter()
+            .fold(sent, |ecn, hop| hop.router.ecn_policy.apply(ecn))
+    }
+
+    /// Whether any router on the path has an impairing ECN policy.
+    pub fn has_ecn_impairment(&self) -> bool {
+        self.hops
+            .iter()
+            .any(|hop| hop.router.ecn_policy.is_impairing())
+    }
+
+    /// Send `datagram` down the path.
+    ///
+    /// The datagram's TTL is decremented at every hop; if it reaches zero the
+    /// router either answers with an ICMP time-exceeded quotation of the
+    /// datagram *as it arrived at that router* (so upstream rewrites are
+    /// visible in the quote) or stays silent, according to its
+    /// [`IcmpBehavior`](crate::router::IcmpBehavior).
+    pub fn transit<R: Rng + ?Sized>(&self, datagram: &IpDatagram, rng: &mut R) -> TransitOutcome {
+        let mut current = datagram.clone();
+        let mut elapsed = SimDuration::ZERO;
+        for (index, hop) in self.hops.iter().enumerate() {
+            elapsed += hop.delay;
+
+            // Queue loss happens before the router looks at the packet.
+            if hop.loss > 0.0 && rng.gen_bool(hop.loss) {
+                return TransitOutcome::Dropped { at_hop: index };
+            }
+
+            // TTL handling: the quote shows the packet as received.
+            let ttl_after = current.header.ttl().saturating_sub(1);
+            if ttl_after == 0 {
+                let respond = hop.router.icmp.response_probability > 0.0
+                    && rng.gen_bool(hop.router.icmp.response_probability);
+                if !respond {
+                    return TransitOutcome::Expired { at_hop: index };
+                }
+                let response = build_time_exceeded(&hop.router, &current);
+                // The ICMP message travels back over the hops already crossed.
+                let return_delay: SimDuration = self.hops[..=index]
+                    .iter()
+                    .fold(SimDuration::ZERO, |acc, h| acc + h.delay);
+                return TransitOutcome::TimeExceeded {
+                    at_hop: index,
+                    response,
+                    delay: elapsed + return_delay,
+                };
+            }
+            current.header.set_ttl(ttl_after);
+
+            // Rewrite policies.
+            let ecn_in = current.header.ecn();
+            current.header.set_ecn(hop.router.ecn_policy.apply(ecn_in));
+            let dscp_in = current.header.dscp();
+            current.header.set_dscp(hop.router.dscp_policy.apply(dscp_in));
+            if hop.router.ecn_policy == crate::policy::EcnPolicy::BleachTos {
+                current.header.set_dscp(qem_packet::ecn::Dscp::BEST_EFFORT);
+            }
+
+            // AQM marking / dropping.
+            if let Some(aqm) = &hop.router.aqm {
+                match aqm.apply(current.header.ecn(), rng) {
+                    AqmDecision::Forward(ecn) => current.header.set_ecn(ecn),
+                    AqmDecision::Drop => return TransitOutcome::Dropped { at_hop: index },
+                }
+            }
+        }
+        TransitOutcome::Delivered {
+            datagram: current,
+            delay: elapsed,
+        }
+    }
+}
+
+/// Build the ICMP time-exceeded response a router sends for `expired`.
+fn build_time_exceeded(router: &Router, expired: &IpDatagram) -> IpDatagram {
+    let v6 = expired.header.is_v6();
+    let full_quote = expired.to_bytes();
+    let quote_len = router.icmp.quote_bytes.min(full_quote.len());
+    let message = IcmpMessage::TimeExceeded {
+        v6,
+        quote: full_quote[..quote_len].to_vec(),
+    };
+    let payload = message.encode();
+    let header = match (router.address, expired.header.src()) {
+        (IpAddr::V4(src), IpAddr::V4(dst)) => {
+            IpHeader::V4(Ipv4Header::new(src, dst, IpProtocol::Icmp, 64))
+        }
+        (IpAddr::V6(src), IpAddr::V6(dst)) => {
+            IpHeader::V6(Ipv6Header::new(src, dst, IpProtocol::Icmpv6, 64))
+        }
+        // Mixed families can only happen if a topology was mis-built; answer
+        // from the router's address family towards a mapped destination so
+        // the caller still sees *something* rather than a panic.
+        (IpAddr::V4(src), IpAddr::V6(_)) => IpHeader::V4(Ipv4Header::new(
+            src,
+            std::net::Ipv4Addr::UNSPECIFIED,
+            IpProtocol::Icmp,
+            64,
+        )),
+        (IpAddr::V6(src), IpAddr::V4(_)) => IpHeader::V6(Ipv6Header::new(
+            src,
+            std::net::Ipv6Addr::UNSPECIFIED,
+            IpProtocol::Icmpv6,
+            64,
+        )),
+    };
+    IpDatagram::new(header, payload)
+}
+
+/// A bidirectional path between a client and a server.
+///
+/// The reverse direction is modelled separately because the paper repeatedly
+/// stresses that tracebox can only observe the forward path (§4.2, §6.3) —
+/// reverse-path impairments stay invisible to the tracer but still affect the
+/// server's view of client-set codepoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DuplexPath {
+    /// Client → server direction.
+    pub forward: Path,
+    /// Server → client direction.
+    pub reverse: Path,
+}
+
+impl DuplexPath {
+    /// Build from forward and reverse paths.
+    pub fn new(forward: Path, reverse: Path) -> Self {
+        DuplexPath { forward, reverse }
+    }
+
+    /// A duplex path whose reverse direction mirrors the forward hops with
+    /// transparent policies (the common case: impairments sit on one side).
+    pub fn symmetric_clean_reverse(forward: Path) -> Self {
+        let reverse = Path::new(
+            forward
+                .hops
+                .iter()
+                .rev()
+                .map(|hop| {
+                    let mut router = hop.router.clone();
+                    router.ecn_policy = crate::policy::EcnPolicy::Pass;
+                    router.dscp_policy = crate::policy::DscpPolicy::Pass;
+                    router.aqm = None;
+                    Hop {
+                        router,
+                        delay: hop.delay,
+                        loss: hop.loss,
+                    }
+                })
+                .collect(),
+        );
+        DuplexPath { forward, reverse }
+    }
+
+    /// Round-trip time of the duplex path.
+    pub fn rtt(&self) -> SimDuration {
+        self.forward.one_way_delay() + self.reverse.one_way_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EcnPolicy;
+    use crate::router::{IcmpBehavior, Router};
+    use crate::topology::Asn;
+    use qem_packet::ecn::EcnCodepoint;
+    use qem_packet::ip::{IpHeader, Ipv4Header};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn dgram(ttl: u8, ecn: EcnCodepoint) -> IpDatagram {
+        let header = Ipv4Header::new(
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(198, 51, 100, 99),
+            IpProtocol::Udp,
+            ttl,
+        )
+        .with_ecn(ecn);
+        IpDatagram::new(IpHeader::V4(header), vec![0xab; 100])
+    }
+
+    fn three_hop_path(middle_policy: EcnPolicy) -> Path {
+        Path::new(vec![
+            Hop::new(Router::transparent(1, Asn(680))),
+            Hop::new(Router::transparent(2, Asn(1299)).with_ecn_policy(middle_policy)),
+            Hop::new(Router::transparent(3, Asn(13335))),
+        ])
+    }
+
+    #[test]
+    fn clean_path_delivers_unchanged() {
+        let path = three_hop_path(EcnPolicy::Pass);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = path.transit(&dgram(64, EcnCodepoint::Ect0), &mut rng);
+        let (delivered, delay) = outcome.delivered().unwrap();
+        assert_eq!(delivered.header.ecn(), EcnCodepoint::Ect0);
+        assert_eq!(delivered.header.ttl(), 61);
+        assert_eq!(delay, SimDuration::from_millis(15));
+        assert!(!path.has_ecn_impairment());
+    }
+
+    #[test]
+    fn clearing_router_zeroes_ecn() {
+        let path = three_hop_path(EcnPolicy::ClearEcn);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = path.transit(&dgram(64, EcnCodepoint::Ect0), &mut rng);
+        let (delivered, _) = outcome.delivered().unwrap();
+        assert_eq!(delivered.header.ecn(), EcnCodepoint::NotEct);
+        assert_eq!(path.expected_arrival_ecn(EcnCodepoint::Ect0), EcnCodepoint::NotEct);
+        assert!(path.has_ecn_impairment());
+    }
+
+    #[test]
+    fn remarking_router_swaps_ect0_to_ect1() {
+        let path = three_hop_path(EcnPolicy::RemarkEct0ToEct1);
+        assert_eq!(path.expected_arrival_ecn(EcnCodepoint::Ect0), EcnCodepoint::Ect1);
+        assert_eq!(path.expected_arrival_ecn(EcnCodepoint::Ce), EcnCodepoint::Ce);
+    }
+
+    #[test]
+    fn ttl_expiry_generates_icmp_with_quote() {
+        let path = three_hop_path(EcnPolicy::RemarkEct0ToEct1);
+        let mut rng = StdRng::seed_from_u64(3);
+        // TTL 2: expires at the second hop (index 1), after traversing hop 0.
+        let outcome = path.transit(&dgram(2, EcnCodepoint::Ect0), &mut rng);
+        match outcome {
+            TransitOutcome::TimeExceeded {
+                at_hop, response, ..
+            } => {
+                assert_eq!(at_hop, 1);
+                assert_eq!(response.header.protocol(), IpProtocol::Icmp);
+                assert_eq!(
+                    response.header.dst(),
+                    "192.0.2.1".parse::<std::net::IpAddr>().unwrap()
+                );
+                let icmp = IcmpMessage::decode(&response.payload, false).unwrap();
+                // The quote shows the packet as received by hop 1: the
+                // re-marking happens *at* hop 1, so the quote still says ECT(0).
+                let quoted = IpDatagram::from_bytes(icmp.quote()).unwrap();
+                assert_eq!(quoted.header.ecn(), EcnCodepoint::Ect0);
+            }
+            other => panic!("expected TimeExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quote_reflects_upstream_rewrites() {
+        // Clearing at hop 0; TTL expires at hop 2 → quote must show not-ECT.
+        let path = Path::new(vec![
+            Hop::new(Router::transparent(1, Asn(1299)).with_ecn_policy(EcnPolicy::ClearEcn)),
+            Hop::new(Router::transparent(2, Asn(174))),
+            Hop::new(Router::transparent(3, Asn(13335))),
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = path.transit(&dgram(3, EcnCodepoint::Ect0), &mut rng);
+        match outcome {
+            TransitOutcome::TimeExceeded { response, .. } => {
+                let icmp = IcmpMessage::decode(&response.payload, false).unwrap();
+                let quoted = IpDatagram::from_bytes(icmp.quote()).unwrap();
+                assert_eq!(quoted.header.ecn(), EcnCodepoint::NotEct);
+            }
+            other => panic!("expected TimeExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_router_expires_without_response() {
+        let path = Path::new(vec![Hop::new(
+            Router::transparent(1, Asn(680)).with_icmp(IcmpBehavior::silent()),
+        )]);
+        let mut rng = StdRng::seed_from_u64(1);
+        match path.transit(&dgram(1, EcnCodepoint::Ect0), &mut rng) {
+            TransitOutcome::Expired { at_hop } => assert_eq!(at_hop, 0),
+            other => panic!("expected Expired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_hop_eventually_drops() {
+        let path = Path::new(vec![Hop::new(Router::transparent(1, Asn(680))).with_loss(1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            path.transit(&dgram(64, EcnCodepoint::NotEct), &mut rng),
+            TransitOutcome::Dropped { at_hop: 0 }
+        );
+    }
+
+    #[test]
+    fn truncated_icmp_quote_respects_router_setting() {
+        let path = Path::new(vec![Hop::new(
+            Router::transparent(1, Asn(680)).with_icmp(IcmpBehavior::minimal_quote()),
+        )]);
+        let mut rng = StdRng::seed_from_u64(1);
+        match path.transit(&dgram(1, EcnCodepoint::Ect0), &mut rng) {
+            TransitOutcome::TimeExceeded { response, .. } => {
+                let icmp = IcmpMessage::decode(&response.payload, false).unwrap();
+                assert_eq!(icmp.quote().len(), 28);
+            }
+            other => panic!("expected TimeExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplex_symmetric_reverse_is_clean() {
+        let duplex = DuplexPath::symmetric_clean_reverse(three_hop_path(EcnPolicy::ClearEcn));
+        assert!(duplex.forward.has_ecn_impairment());
+        assert!(!duplex.reverse.has_ecn_impairment());
+        assert_eq!(duplex.rtt(), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn empty_path_delivers_immediately() {
+        let path = Path::empty();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = path.transit(&dgram(64, EcnCodepoint::Ect1), &mut rng);
+        let (delivered, delay) = outcome.delivered().unwrap();
+        assert_eq!(delivered.header.ecn(), EcnCodepoint::Ect1);
+        assert_eq!(delay, SimDuration::ZERO);
+        assert!(path.is_empty());
+        assert_eq!(path.len(), 0);
+    }
+}

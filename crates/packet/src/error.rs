@@ -1,0 +1,96 @@
+//! Error type shared by all decoders in this crate.
+
+use std::fmt;
+
+/// Errors produced while decoding (or, rarely, encoding) wire formats.
+///
+/// Parsers in this crate never panic on untrusted input; every malformed
+/// byte sequence maps onto one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer ended before the fixed-size portion of a header was complete.
+    Truncated {
+        /// Header or structure being decoded.
+        what: &'static str,
+        /// Bytes that were required.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// A version / type discriminator did not match any supported value.
+    UnsupportedVersion {
+        /// Header or structure being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// A field carried a value that is structurally invalid.
+    InvalidField {
+        /// Header or structure being decoded.
+        what: &'static str,
+        /// Description of the violated constraint.
+        reason: &'static str,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Header whose checksum failed.
+        what: &'static str,
+    },
+    /// A variable-length integer was malformed or exceeded the buffer.
+    InvalidVarint,
+    /// A QUIC packet used an unknown or unsupported long-header packet type.
+    UnknownPacketType(u8),
+    /// A QUIC frame type is not supported by this implementation.
+    UnknownFrameType(u64),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            PacketError::UnsupportedVersion { what, value } => {
+                write!(f, "unsupported version {value:#x} while decoding {what}")
+            }
+            PacketError::InvalidField { what, reason } => {
+                write!(f, "invalid field in {what}: {reason}")
+            }
+            PacketError::BadChecksum { what } => write!(f, "checksum mismatch in {what}"),
+            PacketError::InvalidVarint => write!(f, "malformed variable-length integer"),
+            PacketError::UnknownPacketType(t) => write!(f, "unknown QUIC packet type {t:#x}"),
+            PacketError::UnknownFrameType(t) => write!(f, "unknown QUIC frame type {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PacketError::Truncated {
+            what: "ipv4 header",
+            needed: 20,
+            available: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ipv4 header"));
+        assert!(s.contains("20"));
+        assert!(s.contains("7"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(PacketError::InvalidVarint);
+        assert_eq!(e.to_string(), "malformed variable-length integer");
+    }
+}

@@ -1,0 +1,204 @@
+//! ICMPv4 and ICMPv6 messages used by the tracebox methodology.
+//!
+//! The path tracer (paper §4.2) sends QUIC Initial packets with increasing
+//! TTLs; routers whose TTL expires answer with *time exceeded* messages that
+//! quote the offending datagram.  The quotation is what lets the tracer see
+//! which ECN / DSCP value the packet carried when it reached that hop.
+//!
+//! ICMPv4 quotes the IP header plus at least the first 8 bytes of the
+//! transport payload (RFC 792); most modern routers quote more, and RFC 1812
+//! recommends as much as fits.  ICMPv6 quotes as much of the packet as fits
+//! in the minimum MTU (RFC 4443).  The simulator lets routers choose their
+//! quote length so the tracer has to cope with short quotes.
+
+use crate::error::PacketError;
+use crate::ip::internet_checksum;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// ICMPv4 type for *time exceeded*.
+pub const ICMPV4_TIME_EXCEEDED: u8 = 11;
+/// ICMPv4 type for *destination unreachable*.
+pub const ICMPV4_DEST_UNREACHABLE: u8 = 3;
+/// ICMPv6 type for *time exceeded*.
+pub const ICMPV6_TIME_EXCEEDED: u8 = 3;
+/// ICMPv6 type for *destination unreachable*.
+pub const ICMPV6_DEST_UNREACHABLE: u8 = 1;
+
+/// Length of the fixed ICMP header (type, code, checksum, unused word).
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// The ICMP messages the simulator and tracer exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcmpMessage {
+    /// Time exceeded in transit (TTL reached zero at a router).
+    TimeExceeded {
+        /// Whether this is an ICMPv6 (true) or ICMPv4 (false) message.
+        v6: bool,
+        /// Quotation of the expired datagram, starting at its IP header.
+        quote: Vec<u8>,
+    },
+    /// Destination unreachable (used for simulated administrative filtering).
+    DestinationUnreachable {
+        /// Whether this is an ICMPv6 (true) or ICMPv4 (false) message.
+        v6: bool,
+        /// ICMP code (e.g. 3 = port unreachable for ICMPv4).
+        code: u8,
+        /// Quotation of the rejected datagram.
+        quote: Vec<u8>,
+    },
+}
+
+impl IcmpMessage {
+    /// The quoted original datagram bytes.
+    pub fn quote(&self) -> &[u8] {
+        match self {
+            IcmpMessage::TimeExceeded { quote, .. } => quote,
+            IcmpMessage::DestinationUnreachable { quote, .. } => quote,
+        }
+    }
+
+    /// Whether this is a time-exceeded message.
+    pub fn is_time_exceeded(&self) -> bool {
+        matches!(self, IcmpMessage::TimeExceeded { .. })
+    }
+
+    /// Encode the message into ICMP bytes (type, code, checksum, unused, quote).
+    pub fn encode(&self) -> Vec<u8> {
+        let (ty, code, quote) = match self {
+            IcmpMessage::TimeExceeded { v6, quote } => {
+                let ty = if *v6 {
+                    ICMPV6_TIME_EXCEEDED
+                } else {
+                    ICMPV4_TIME_EXCEEDED
+                };
+                (ty, 0u8, quote)
+            }
+            IcmpMessage::DestinationUnreachable { v6, code, quote } => {
+                let ty = if *v6 {
+                    ICMPV6_DEST_UNREACHABLE
+                } else {
+                    ICMPV4_DEST_UNREACHABLE
+                };
+                (ty, *code, quote)
+            }
+        };
+        let mut buf = Vec::with_capacity(ICMP_HEADER_LEN + quote.len());
+        buf.push(ty);
+        buf.push(code);
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&[0, 0, 0, 0]); // unused
+        buf.extend_from_slice(quote);
+        let csum = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf
+    }
+
+    /// Decode an ICMP message.  `v6` selects the ICMPv6 type space.
+    pub fn decode(buf: &[u8], v6: bool) -> Result<Self> {
+        if buf.len() < ICMP_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "icmp message",
+                needed: ICMP_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        if internet_checksum(buf) != 0 {
+            return Err(PacketError::BadChecksum { what: "icmp message" });
+        }
+        let ty = buf[0];
+        let code = buf[1];
+        let quote = buf[ICMP_HEADER_LEN..].to_vec();
+        let time_exceeded = if v6 {
+            ICMPV6_TIME_EXCEEDED
+        } else {
+            ICMPV4_TIME_EXCEEDED
+        };
+        let unreachable = if v6 {
+            ICMPV6_DEST_UNREACHABLE
+        } else {
+            ICMPV4_DEST_UNREACHABLE
+        };
+        if ty == time_exceeded {
+            Ok(IcmpMessage::TimeExceeded { v6, quote })
+        } else if ty == unreachable {
+            Ok(IcmpMessage::DestinationUnreachable { v6, code, quote })
+        } else {
+            Err(PacketError::InvalidField {
+                what: "icmp message",
+                reason: "unsupported icmp type",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_exceeded_round_trip_v4() {
+        let msg = IcmpMessage::TimeExceeded {
+            v6: false,
+            quote: vec![0x45, 0x02, 0x00, 0x1c, 1, 2, 3, 4],
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], ICMPV4_TIME_EXCEEDED);
+        let decoded = IcmpMessage::decode(&bytes, false).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn time_exceeded_round_trip_v6() {
+        let msg = IcmpMessage::TimeExceeded {
+            v6: true,
+            quote: vec![0x60, 0, 0, 0],
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], ICMPV6_TIME_EXCEEDED);
+        let decoded = IcmpMessage::decode(&bytes, true).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn unreachable_round_trip() {
+        let msg = IcmpMessage::DestinationUnreachable {
+            v6: false,
+            code: 3,
+            quote: vec![1, 2, 3],
+        };
+        let decoded = IcmpMessage::decode(&msg.encode(), false).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(!decoded.is_time_exceeded());
+    }
+
+    #[test]
+    fn checksum_verified() {
+        let msg = IcmpMessage::TimeExceeded {
+            v6: false,
+            quote: vec![9; 32],
+        };
+        let mut bytes = msg.encode();
+        bytes[10] ^= 0xa5;
+        assert_eq!(
+            IcmpMessage::decode(&bytes, false),
+            Err(PacketError::BadChecksum { what: "icmp message" })
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(IcmpMessage::decode(&[11, 0, 0], false).is_err());
+    }
+
+    #[test]
+    fn wrong_type_space_rejected() {
+        // An ICMPv4 time-exceeded type (11) is not a valid ICMPv6 time-exceeded.
+        let msg = IcmpMessage::TimeExceeded {
+            v6: false,
+            quote: vec![],
+        };
+        let bytes = msg.encode();
+        assert!(IcmpMessage::decode(&bytes, true).is_err());
+    }
+}

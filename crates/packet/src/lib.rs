@@ -1,0 +1,57 @@
+//! Wire formats used throughout the ECN-with-QUIC measurement reproduction.
+//!
+//! This crate implements byte-accurate encoders and decoders for every header
+//! the study ("ECN with QUIC: Challenges in the Wild", IMC '23) touches:
+//!
+//! * IPv4 and IPv6 headers including the DSCP / ECN split of the former
+//!   ToS / traffic-class octet ([`ip`], [`ecn`]),
+//! * UDP and TCP (with the ECN-relevant `ECE` / `CWR` flags) ([`udp`], [`tcp`]),
+//! * ICMPv4 / ICMPv6 *time exceeded* messages carrying a quotation of the
+//!   original datagram, as used by the tracebox methodology ([`icmp`]),
+//! * a simplified but RFC-shaped QUIC wire image: variable-length integers,
+//!   long and short headers for QUIC v1 and drafts 27/29/32/34, version
+//!   negotiation, and the frames required for the measurements — most
+//!   importantly `ACK_ECN` ([`quic`]).
+//!
+//! The crate is `#![forbid(unsafe_code)]`, has no I/O, and never allocates
+//! behind the caller's back except for the payload buffers it returns.  All
+//! parsers are total: malformed input yields a [`PacketError`], never a panic.
+//!
+//! # Example
+//!
+//! ```
+//! use qem_packet::ecn::EcnCodepoint;
+//! use qem_packet::ip::{IpProtocol, Ipv4Header};
+//! use std::net::Ipv4Addr;
+//!
+//! let hdr = Ipv4Header::new(
+//!     Ipv4Addr::new(192, 0, 2, 1),
+//!     Ipv4Addr::new(198, 51, 100, 7),
+//!     IpProtocol::Udp,
+//!     64,
+//! )
+//! .with_ecn(EcnCodepoint::Ect0);
+//!
+//! let bytes = hdr.encode(1200);
+//! let (decoded, _hdr_len) = Ipv4Header::decode(&bytes).unwrap();
+//! assert_eq!(decoded.ecn, EcnCodepoint::Ect0);
+//! assert_eq!(decoded.ttl, 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecn;
+pub mod error;
+pub mod icmp;
+pub mod ip;
+pub mod quic;
+pub mod tcp;
+pub mod udp;
+
+pub use ecn::{Dscp, EcnCodepoint};
+pub use error::PacketError;
+pub use ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
+
+/// Result alias used by all decoders in this crate.
+pub type Result<T> = std::result::Result<T, PacketError>;

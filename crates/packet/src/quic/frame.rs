@@ -1,0 +1,453 @@
+//! QUIC frames (RFC 9000 §19), restricted to the set the study exercises.
+//!
+//! The frame that matters most here is `ACK` with ECN counts (type `0x03`):
+//! this is the mechanism by which a QUIC receiver *mirrors* the ECN
+//! codepoints it observed on the IP layer back to the sender, and it is the
+//! input to the sender-side ECN validation the paper analyses.
+
+use crate::ecn::EcnCounts;
+use crate::error::PacketError;
+use crate::quic::varint::{decode_varint, encode_varint};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// An ACK frame: the largest acknowledged packet number, the ranges of
+/// acknowledged packet numbers below it, and optionally the ECN counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckFrame {
+    /// Largest packet number being acknowledged.
+    pub largest_acked: u64,
+    /// Acknowledgment delay in microseconds (already scaled; the study's
+    /// endpoints use an `ack_delay_exponent` of 0 for simplicity).
+    pub ack_delay: u64,
+    /// Acknowledged ranges as inclusive `(start, end)` pairs, highest first.
+    /// The first range must end at `largest_acked`.
+    pub ranges: Vec<(u64, u64)>,
+    /// ECN counters, present only in `ACK_ECN` (type 0x03) frames.
+    pub ecn: Option<EcnCounts>,
+}
+
+impl AckFrame {
+    /// Build an ACK for a single contiguous range `[start, end]`.
+    pub fn contiguous(start: u64, end: u64, ecn: Option<EcnCounts>) -> Self {
+        AckFrame {
+            largest_acked: end,
+            ack_delay: 0,
+            ranges: vec![(start, end)],
+            ecn,
+        }
+    }
+
+    /// Total number of packet numbers covered by the ranges.
+    pub fn acked_count(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s + 1).sum()
+    }
+
+    /// Whether `pn` is covered by one of the ranges.
+    pub fn acknowledges(&self, pn: u64) -> bool {
+        self.ranges.iter().any(|(s, e)| pn >= *s && pn <= *e)
+    }
+}
+
+/// The QUIC frames supported by this reproduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frame {
+    /// PADDING (type 0x00); `size` consecutive padding bytes.
+    Padding {
+        /// Number of padding bytes this entry represents.
+        size: usize,
+    },
+    /// PING (type 0x01).
+    Ping,
+    /// ACK / ACK_ECN (types 0x02 / 0x03).
+    Ack(AckFrame),
+    /// CRYPTO (type 0x06) — carries the plaintext handshake messages.
+    Crypto {
+        /// Offset in the crypto stream.
+        offset: u64,
+        /// Crypto stream bytes.
+        data: Vec<u8>,
+    },
+    /// STREAM with offset and length (type 0x0e) — carries the HTTP exchange.
+    Stream {
+        /// Stream identifier.
+        stream_id: u64,
+        /// Offset of `data` in the stream.
+        offset: u64,
+        /// Whether this frame ends the stream.
+        fin: bool,
+        /// Stream payload bytes.
+        data: Vec<u8>,
+    },
+    /// CONNECTION_CLOSE (type 0x1c).
+    ConnectionClose {
+        /// Transport error code.
+        error_code: u64,
+        /// Human-readable reason phrase.
+        reason: String,
+    },
+    /// HANDSHAKE_DONE (type 0x1e).
+    HandshakeDone,
+}
+
+const FRAME_PADDING: u64 = 0x00;
+const FRAME_PING: u64 = 0x01;
+const FRAME_ACK: u64 = 0x02;
+const FRAME_ACK_ECN: u64 = 0x03;
+const FRAME_CRYPTO: u64 = 0x06;
+const FRAME_STREAM_OFF_LEN: u64 = 0x0e;
+const FRAME_STREAM_OFF_LEN_FIN: u64 = 0x0f;
+const FRAME_CONNECTION_CLOSE: u64 = 0x1c;
+const FRAME_HANDSHAKE_DONE: u64 = 0x1e;
+
+impl Frame {
+    /// Whether loss of this frame must be repaired (ack-eliciting and
+    /// retransmittable content).
+    pub fn is_ack_eliciting(&self) -> bool {
+        !matches!(self, Frame::Ack(_) | Frame::Padding { .. } | Frame::ConnectionClose { .. })
+    }
+
+    /// Append the wire encoding of this frame to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Padding { size } => {
+                buf.extend(std::iter::repeat(0u8).take(*size));
+            }
+            Frame::Ping => encode_varint(buf, FRAME_PING),
+            Frame::Ack(ack) => {
+                let ty = if ack.ecn.is_some() {
+                    FRAME_ACK_ECN
+                } else {
+                    FRAME_ACK
+                };
+                encode_varint(buf, ty);
+                encode_varint(buf, ack.largest_acked);
+                encode_varint(buf, ack.ack_delay);
+                let range_count = ack.ranges.len().saturating_sub(1) as u64;
+                encode_varint(buf, range_count);
+                // First range: number of packets below largest_acked, inclusive.
+                let (first_start, first_end) = ack.ranges.first().copied().unwrap_or((
+                    ack.largest_acked,
+                    ack.largest_acked,
+                ));
+                encode_varint(buf, first_end - first_start);
+                let mut prev_start = first_start;
+                for (start, end) in ack.ranges.iter().skip(1) {
+                    // Gap: packets between this range and the previous one, minus 2.
+                    let gap = prev_start - end - 2;
+                    encode_varint(buf, gap);
+                    encode_varint(buf, end - start);
+                    prev_start = *start;
+                }
+                if let Some(ecn) = &ack.ecn {
+                    encode_varint(buf, ecn.ect0);
+                    encode_varint(buf, ecn.ect1);
+                    encode_varint(buf, ecn.ce);
+                }
+            }
+            Frame::Crypto { offset, data } => {
+                encode_varint(buf, FRAME_CRYPTO);
+                encode_varint(buf, *offset);
+                encode_varint(buf, data.len() as u64);
+                buf.extend_from_slice(data);
+            }
+            Frame::Stream {
+                stream_id,
+                offset,
+                fin,
+                data,
+            } => {
+                let ty = if *fin {
+                    FRAME_STREAM_OFF_LEN_FIN
+                } else {
+                    FRAME_STREAM_OFF_LEN
+                };
+                encode_varint(buf, ty);
+                encode_varint(buf, *stream_id);
+                encode_varint(buf, *offset);
+                encode_varint(buf, data.len() as u64);
+                buf.extend_from_slice(data);
+            }
+            Frame::ConnectionClose { error_code, reason } => {
+                encode_varint(buf, FRAME_CONNECTION_CLOSE);
+                encode_varint(buf, *error_code);
+                encode_varint(buf, 0); // triggering frame type
+                encode_varint(buf, reason.len() as u64);
+                buf.extend_from_slice(reason.as_bytes());
+            }
+            Frame::HandshakeDone => encode_varint(buf, FRAME_HANDSHAKE_DONE),
+        }
+    }
+
+    /// Encode a sequence of frames into a payload buffer.
+    pub fn encode_all(frames: &[Frame]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for frame in frames {
+            frame.encode(&mut buf);
+        }
+        buf
+    }
+
+    /// Decode all frames in `buf`.  Runs of padding are collapsed into a
+    /// single [`Frame::Padding`] entry.
+    pub fn decode_all(buf: &[u8]) -> Result<Vec<Frame>> {
+        let mut frames = Vec::new();
+        let mut at = 0usize;
+        while at < buf.len() {
+            let (frame, consumed) = Self::decode_one(&buf[at..])?;
+            at += consumed;
+            // Merge consecutive padding entries.
+            if let (Some(Frame::Padding { size }), Frame::Padding { size: add }) =
+                (frames.last_mut(), &frame)
+            {
+                *size += add;
+            } else {
+                frames.push(frame);
+            }
+        }
+        Ok(frames)
+    }
+
+    fn decode_one(buf: &[u8]) -> Result<(Frame, usize)> {
+        let (ty, mut at) = decode_varint(buf)?;
+        let need = |n: usize, at: usize| -> Result<()> {
+            if buf.len() < at + n {
+                Err(PacketError::Truncated {
+                    what: "quic frame",
+                    needed: at + n,
+                    available: buf.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match ty {
+            FRAME_PADDING => Ok((Frame::Padding { size: 1 }, at)),
+            FRAME_PING => Ok((Frame::Ping, at)),
+            FRAME_ACK | FRAME_ACK_ECN => {
+                let (largest_acked, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (ack_delay, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (range_count, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (first_range, c) = decode_varint(&buf[at..])?;
+                at += c;
+                if first_range > largest_acked {
+                    return Err(PacketError::InvalidField {
+                        what: "ack frame",
+                        reason: "first range exceeds largest acknowledged",
+                    });
+                }
+                let mut ranges = vec![(largest_acked - first_range, largest_acked)];
+                let mut prev_start = largest_acked - first_range;
+                for _ in 0..range_count {
+                    let (gap, c) = decode_varint(&buf[at..])?;
+                    at += c;
+                    let (len, c) = decode_varint(&buf[at..])?;
+                    at += c;
+                    let end = prev_start
+                        .checked_sub(gap + 2)
+                        .ok_or(PacketError::InvalidField {
+                            what: "ack frame",
+                            reason: "gap underflows packet number space",
+                        })?;
+                    let start = end.checked_sub(len).ok_or(PacketError::InvalidField {
+                        what: "ack frame",
+                        reason: "range length underflows packet number space",
+                    })?;
+                    ranges.push((start, end));
+                    prev_start = start;
+                }
+                let ecn = if ty == FRAME_ACK_ECN {
+                    let (ect0, c) = decode_varint(&buf[at..])?;
+                    at += c;
+                    let (ect1, c) = decode_varint(&buf[at..])?;
+                    at += c;
+                    let (ce, c) = decode_varint(&buf[at..])?;
+                    at += c;
+                    Some(EcnCounts { ect0, ect1, ce })
+                } else {
+                    None
+                };
+                Ok((
+                    Frame::Ack(AckFrame {
+                        largest_acked,
+                        ack_delay,
+                        ranges,
+                        ecn,
+                    }),
+                    at,
+                ))
+            }
+            FRAME_CRYPTO => {
+                let (offset, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (len, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let len = len as usize;
+                need(len, at)?;
+                let data = buf[at..at + len].to_vec();
+                Ok((Frame::Crypto { offset, data }, at + len))
+            }
+            FRAME_STREAM_OFF_LEN | FRAME_STREAM_OFF_LEN_FIN => {
+                let (stream_id, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (offset, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (len, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let len = len as usize;
+                need(len, at)?;
+                let data = buf[at..at + len].to_vec();
+                Ok((
+                    Frame::Stream {
+                        stream_id,
+                        offset,
+                        fin: ty == FRAME_STREAM_OFF_LEN_FIN,
+                        data,
+                    },
+                    at + len,
+                ))
+            }
+            FRAME_CONNECTION_CLOSE => {
+                let (error_code, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (_frame_type, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let (len, c) = decode_varint(&buf[at..])?;
+                at += c;
+                let len = len as usize;
+                need(len, at)?;
+                let reason = String::from_utf8_lossy(&buf[at..at + len]).into_owned();
+                Ok((Frame::ConnectionClose { error_code, reason }, at + len))
+            }
+            FRAME_HANDSHAKE_DONE => Ok((Frame::HandshakeDone, at)),
+            other => Err(PacketError::UnknownFrameType(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frames: &[Frame]) -> Vec<Frame> {
+        Frame::decode_all(&Frame::encode_all(frames)).unwrap()
+    }
+
+    #[test]
+    fn ping_and_handshake_done() {
+        let frames = vec![Frame::Ping, Frame::HandshakeDone];
+        assert_eq!(round_trip(&frames), frames);
+    }
+
+    #[test]
+    fn padding_is_collapsed() {
+        let frames = vec![Frame::Padding { size: 37 }, Frame::Ping];
+        let decoded = round_trip(&frames);
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn ack_without_ecn() {
+        let frames = vec![Frame::Ack(AckFrame::contiguous(0, 9, None))];
+        assert_eq!(round_trip(&frames), frames);
+    }
+
+    #[test]
+    fn ack_with_ecn_counts() {
+        let ecn = EcnCounts {
+            ect0: 5,
+            ect1: 0,
+            ce: 2,
+        };
+        let frames = vec![Frame::Ack(AckFrame::contiguous(3, 11, Some(ecn)))];
+        let decoded = round_trip(&frames);
+        match &decoded[0] {
+            Frame::Ack(a) => assert_eq!(a.ecn, Some(ecn)),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_with_multiple_ranges() {
+        let ack = AckFrame {
+            largest_acked: 20,
+            ack_delay: 11,
+            ranges: vec![(18, 20), (10, 14), (2, 5)],
+            ecn: None,
+        };
+        assert_eq!(ack.acked_count(), 3 + 5 + 4);
+        assert!(ack.acknowledges(12));
+        assert!(!ack.acknowledges(8));
+        let frames = vec![Frame::Ack(ack)];
+        assert_eq!(round_trip(&frames), frames);
+    }
+
+    #[test]
+    fn crypto_and_stream_frames() {
+        let frames = vec![
+            Frame::Crypto {
+                offset: 0,
+                data: b"client hello".to_vec(),
+            },
+            Frame::Stream {
+                stream_id: 0,
+                offset: 100,
+                fin: true,
+                data: b"GET /".to_vec(),
+            },
+        ];
+        assert_eq!(round_trip(&frames), frames);
+    }
+
+    #[test]
+    fn connection_close_round_trip() {
+        let frames = vec![Frame::ConnectionClose {
+            error_code: 0x0a,
+            reason: "protocol violation".to_string(),
+        }];
+        assert_eq!(round_trip(&frames), frames);
+    }
+
+    #[test]
+    fn ack_eliciting_classification() {
+        assert!(Frame::Ping.is_ack_eliciting());
+        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(!Frame::Ack(AckFrame::contiguous(0, 0, None)).is_ack_eliciting());
+        assert!(!Frame::Padding { size: 1 }.is_ack_eliciting());
+    }
+
+    #[test]
+    fn unknown_frame_type_rejected() {
+        let buf = vec![0x21u8, 0, 0];
+        assert!(matches!(
+            Frame::decode_all(&buf),
+            Err(PacketError::UnknownFrameType(0x21))
+        ));
+    }
+
+    #[test]
+    fn malformed_ack_rejected() {
+        // largest_acked = 1 but first range claims 5 packets below it.
+        let mut buf = Vec::new();
+        encode_varint(&mut buf, FRAME_ACK);
+        encode_varint(&mut buf, 1);
+        encode_varint(&mut buf, 0);
+        encode_varint(&mut buf, 0);
+        encode_varint(&mut buf, 5);
+        assert!(Frame::decode_all(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_crypto_rejected() {
+        let mut buf = Vec::new();
+        Frame::Crypto {
+            offset: 0,
+            data: vec![1, 2, 3, 4, 5, 6],
+        }
+        .encode(&mut buf);
+        assert!(Frame::decode_all(&buf[..buf.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the wire formats.
+
+use proptest::prelude::*;
+use qem_packet::ecn::{split_traffic_class, traffic_class, Dscp, EcnCodepoint, EcnCounts};
+use qem_packet::ip::{internet_checksum, IpProtocol, Ipv4Header, Ipv6Header};
+use qem_packet::quic::{
+    decode_varint, encode_varint, varint_len, AckFrame, ConnectionId, Frame, LongPacketType,
+    PacketHeader, QuicPacket, QuicVersion,
+};
+use qem_packet::tcp::{TcpFlags, TcpHeader};
+use qem_packet::udp::UdpHeader;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_ecn() -> impl Strategy<Value = EcnCodepoint> {
+    prop_oneof![
+        Just(EcnCodepoint::NotEct),
+        Just(EcnCodepoint::Ect0),
+        Just(EcnCodepoint::Ect1),
+        Just(EcnCodepoint::Ce),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn traffic_class_round_trips(dscp in 0u8..64, ecn in arb_ecn()) {
+        let tc = traffic_class(Dscp::new(dscp), ecn);
+        let (d, e) = split_traffic_class(tc);
+        prop_assert_eq!(d.value(), dscp);
+        prop_assert_eq!(e, ecn);
+    }
+
+    #[test]
+    fn varint_round_trips(value in 0u64..(1u64 << 62)) {
+        let mut buf = Vec::new();
+        encode_varint(&mut buf, value);
+        prop_assert_eq!(buf.len(), varint_len(value));
+        let (decoded, consumed) = decode_varint(&buf).unwrap();
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn varint_decoding_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let _ = decode_varint(&bytes);
+    }
+
+    #[test]
+    fn ipv4_header_round_trips(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        dscp in 0u8..64,
+        ecn in arb_ecn(),
+        ttl in 1u8..=255,
+        ident in any::<u16>(),
+        payload_len in 0usize..1500,
+    ) {
+        let mut hdr = Ipv4Header::new(
+            Ipv4Addr::from(src),
+            Ipv4Addr::from(dst),
+            IpProtocol::Udp,
+            ttl,
+        ).with_ecn(ecn).with_dscp(Dscp::new(dscp));
+        hdr.identification = ident;
+        let bytes = hdr.encode(payload_len);
+        prop_assert_eq!(internet_checksum(&bytes), 0);
+        let (decoded, len) = Ipv4Header::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, hdr);
+        prop_assert_eq!(len, 20);
+    }
+
+    #[test]
+    fn ipv6_header_round_trips(
+        src in any::<u128>(),
+        dst in any::<u128>(),
+        ecn in arb_ecn(),
+        hop_limit in 1u8..=255,
+        flow in 0u32..(1 << 20),
+    ) {
+        let mut hdr = Ipv6Header::new(
+            Ipv6Addr::from(src),
+            Ipv6Addr::from(dst),
+            IpProtocol::Udp,
+            hop_limit,
+        ).with_ecn(ecn);
+        hdr.flow_label = flow;
+        let bytes = hdr.encode(64);
+        let (decoded, _) = Ipv6Header::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn ip_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = qem_packet::ip::IpHeader::decode(&bytes);
+    }
+
+    #[test]
+    fn udp_round_trips(sport in any::<u16>(), dport in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1));
+        let dst = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+        let hdr = UdpHeader::new(sport, dport);
+        let seg = hdr.encode(src, dst, &payload);
+        prop_assert!(UdpHeader::verify_checksum(src, dst, &seg));
+        let (decoded, body) = UdpHeader::decode(&seg).unwrap();
+        prop_assert_eq!(decoded, hdr);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn tcp_flags_round_trip(byte in any::<u8>()) {
+        prop_assert_eq!(TcpFlags::from_byte(byte).to_byte(), byte);
+    }
+
+    #[test]
+    fn tcp_round_trips(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let src = IpAddr::V4(Ipv4Addr::new(10, 1, 0, 1));
+        let dst = IpAddr::V4(Ipv4Addr::new(10, 1, 0, 2));
+        let hdr = TcpHeader::new(sport, dport, seq, ack, TcpFlags::from_byte(flags));
+        let seg = hdr.encode(src, dst, &payload);
+        prop_assert!(TcpHeader::verify_checksum(src, dst, &seg));
+        let (decoded, body) = TcpHeader::decode(&seg).unwrap();
+        prop_assert_eq!(decoded, hdr);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn quic_initial_round_trips(
+        dcid in any::<u64>(),
+        scid in any::<u64>(),
+        pn in 0u64..u32::MAX as u64,
+        token in proptest::collection::vec(any::<u8>(), 0..32),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let pkt = QuicPacket::new(
+            PacketHeader::Long {
+                ty: LongPacketType::Initial,
+                version: QuicVersion::V1,
+                dcid: ConnectionId::from_u64(dcid),
+                scid: ConnectionId::from_u64(scid),
+                token,
+                packet_number: pn,
+            },
+            payload,
+        );
+        let bytes = pkt.encode();
+        let (decoded, consumed) = QuicPacket::decode(&bytes, 8).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn quic_packet_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = QuicPacket::decode(&bytes, 8);
+    }
+
+    #[test]
+    fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Frame::decode_all(&bytes);
+    }
+
+    #[test]
+    fn ack_ecn_frame_round_trips(
+        largest in 0u64..10_000,
+        below in 0u64..100,
+        ect0 in 0u64..1_000,
+        ect1 in 0u64..1_000,
+        ce in 0u64..1_000,
+    ) {
+        let first = largest.saturating_sub(below);
+        let ack = AckFrame::contiguous(first, largest, Some(EcnCounts { ect0, ect1, ce }));
+        let frames = vec![Frame::Ack(ack)];
+        let decoded = Frame::decode_all(&Frame::encode_all(&frames)).unwrap();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn ecn_counts_record_is_monotone(codes in proptest::collection::vec(arb_ecn(), 0..200)) {
+        let mut counts = EcnCounts::ZERO;
+        let mut prev = counts;
+        for c in codes {
+            counts.record(c);
+            prop_assert!(counts.dominates(&prev));
+            prev = counts;
+        }
+    }
+}

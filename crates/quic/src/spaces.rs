@@ -1,0 +1,322 @@
+//! Packet number spaces: per-space packet numbering, receive tracking, ECN
+//! accounting and unacknowledged-packet bookkeeping.
+//!
+//! RFC 9000 keeps Initial, Handshake and 1-RTT (application) packets in
+//! separate packet number spaces and also keeps the *receiver-side ECN
+//! counters* separate per space.  That separation is load-bearing for this
+//! study: the LiteSpeed undercounting bug the paper diagnoses in §7.3 is a
+//! failure to carry ECN accounting across the handshake → 1-RTT transition,
+//! which can only be modelled if the spaces are real.
+
+use qem_packet::ecn::{EcnCodepoint, EcnCounts};
+use qem_packet::quic::{AckFrame, Frame, LongPacketType};
+use qem_netsim::SimInstant;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Identifier of a packet number space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpaceId {
+    /// Initial packets.
+    Initial = 0,
+    /// Handshake packets.
+    Handshake = 1,
+    /// 1-RTT / application packets.
+    Application = 2,
+}
+
+impl SpaceId {
+    /// All spaces in ascending order.
+    pub const ALL: [SpaceId; 3] = [SpaceId::Initial, SpaceId::Handshake, SpaceId::Application];
+
+    /// Index into per-space arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The space a long-header packet type belongs to (`None` for Retry).
+    pub fn for_long_type(ty: LongPacketType) -> Option<SpaceId> {
+        match ty {
+            LongPacketType::Initial => Some(SpaceId::Initial),
+            LongPacketType::Handshake => Some(SpaceId::Handshake),
+            LongPacketType::ZeroRtt => Some(SpaceId::Application),
+            LongPacketType::Retry => None,
+        }
+    }
+}
+
+/// A packet this endpoint sent and has not yet seen acknowledged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SentPacket {
+    /// Packet number.
+    pub packet_number: u64,
+    /// Frames carried (kept for PTO retransmission).
+    pub frames: Vec<Frame>,
+    /// ECN codepoint the packet was sent with.
+    pub ecn: EcnCodepoint,
+    /// Whether the packet elicits an acknowledgment.
+    pub ack_eliciting: bool,
+    /// When it was sent.
+    pub time_sent: SimInstant,
+    /// How many times this payload has been retransmitted already.
+    pub retransmissions: u32,
+}
+
+/// Result of processing an ACK frame against a space.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AckResult {
+    /// Packets that were newly acknowledged.
+    pub newly_acked: Vec<SentPacket>,
+}
+
+impl AckResult {
+    /// Number of newly acknowledged packets.
+    pub fn count(&self) -> u64 {
+        self.newly_acked.len() as u64
+    }
+
+    /// Number of newly acknowledged packets that carried an ECT/CE mark.
+    pub fn marked_count(&self) -> u64 {
+        self.newly_acked
+            .iter()
+            .filter(|p| p.ecn != EcnCodepoint::NotEct)
+            .count() as u64
+    }
+}
+
+/// One packet number space of a connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PacketSpace {
+    next_packet_number: u64,
+    /// Packet numbers received but not yet covered by a sent ACK.
+    pending_ack: BTreeSet<u64>,
+    /// All packet numbers ever received (for duplicate suppression).
+    received: BTreeSet<u64>,
+    /// ECN codepoints observed on packets received in this space.
+    ecn_received: EcnCounts,
+    /// Packets sent and not yet acknowledged.
+    sent: Vec<SentPacket>,
+    /// Whether an ACK should be sent.
+    ack_pending: bool,
+    /// Largest packet number acknowledged by the peer.
+    largest_acked: Option<u64>,
+}
+
+impl PacketSpace {
+    /// Allocate the next packet number.
+    pub fn next_pn(&mut self) -> u64 {
+        let pn = self.next_packet_number;
+        self.next_packet_number += 1;
+        pn
+    }
+
+    /// Number of packets sent in this space so far.
+    pub fn sent_count(&self) -> u64 {
+        self.next_packet_number
+    }
+
+    /// Record a sent packet for possible retransmission.
+    pub fn on_packet_sent(&mut self, packet: SentPacket) {
+        self.sent.push(packet);
+    }
+
+    /// Record a received packet.  Returns `false` for duplicates.
+    pub fn on_packet_received(&mut self, pn: u64, ecn: EcnCodepoint, ack_eliciting: bool) -> bool {
+        if !self.received.insert(pn) {
+            return false;
+        }
+        self.ecn_received.record(ecn);
+        self.pending_ack.insert(pn);
+        if ack_eliciting {
+            self.ack_pending = true;
+        }
+        true
+    }
+
+    /// ECN counters for packets received in this space.
+    pub fn ecn_received(&self) -> EcnCounts {
+        self.ecn_received
+    }
+
+    /// Whether an acknowledgment is owed.
+    pub fn ack_pending(&self) -> bool {
+        self.ack_pending && !self.pending_ack.is_empty()
+    }
+
+    /// Whether any sent, ack-eliciting packet is still unacknowledged.
+    pub fn has_unacked(&self) -> bool {
+        self.sent.iter().any(|p| p.ack_eliciting)
+    }
+
+    /// Unacknowledged ack-eliciting packets (oldest first), for PTO handling.
+    pub fn unacked(&self) -> impl Iterator<Item = &SentPacket> {
+        self.sent.iter().filter(|p| p.ack_eliciting)
+    }
+
+    /// Remove every unacknowledged packet and return them (used when a space
+    /// is abandoned after the handshake completes).
+    pub fn take_unacked(&mut self) -> Vec<SentPacket> {
+        std::mem::take(&mut self.sent)
+    }
+
+    /// Return clones of the unacknowledged ack-eliciting packets that still
+    /// have retransmission budget left, and charge one retransmission against
+    /// each of them so the next PTO does not resend the same data again.
+    pub fn retransmittable(&mut self, max_retransmissions: u32) -> Vec<SentPacket> {
+        let mut out = Vec::new();
+        for packet in &mut self.sent {
+            if packet.ack_eliciting && packet.retransmissions < max_retransmissions {
+                out.push(packet.clone());
+                packet.retransmissions = max_retransmissions;
+            }
+        }
+        out
+    }
+
+    /// Build an ACK frame covering everything received so far, with the given
+    /// ECN counters (the counters are chosen by the caller because the
+    /// server-behaviour profiles deliberately mis-report them).
+    ///
+    /// Returns `None` if nothing has been received yet.
+    pub fn build_ack(&mut self, ecn: Option<EcnCounts>) -> Option<AckFrame> {
+        let largest = *self.received.iter().next_back()?;
+        // Collapse the received set into ranges, highest first.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &pn in self.received.iter().rev() {
+            match ranges.last_mut() {
+                Some((start, _)) if *start == pn + 1 => *start = pn,
+                _ => ranges.push((pn, pn)),
+            }
+        }
+        self.ack_pending = false;
+        self.pending_ack.clear();
+        Some(AckFrame {
+            largest_acked: largest,
+            ack_delay: 0,
+            ranges,
+            ecn,
+        })
+    }
+
+    /// Process an ACK frame from the peer.
+    pub fn on_ack_received(&mut self, ack: &AckFrame) -> AckResult {
+        let mut newly_acked = Vec::new();
+        let mut remaining = Vec::with_capacity(self.sent.len());
+        for packet in self.sent.drain(..) {
+            if ack.acknowledges(packet.packet_number) {
+                newly_acked.push(packet);
+            } else {
+                remaining.push(packet);
+            }
+        }
+        self.sent = remaining;
+        if !newly_acked.is_empty() {
+            let largest = newly_acked
+                .iter()
+                .map(|p| p.packet_number)
+                .max()
+                .unwrap_or(0);
+            self.largest_acked = Some(self.largest_acked.map_or(largest, |l| l.max(largest)));
+        }
+        AckResult { newly_acked }
+    }
+
+    /// Largest packet number the peer has acknowledged.
+    pub fn largest_acked(&self) -> Option<u64> {
+        self.largest_acked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(pn: u64, ecn: EcnCodepoint) -> SentPacket {
+        SentPacket {
+            packet_number: pn,
+            frames: vec![Frame::Ping],
+            ecn,
+            ack_eliciting: true,
+            time_sent: SimInstant::EPOCH,
+            retransmissions: 0,
+        }
+    }
+
+    #[test]
+    fn packet_numbers_are_sequential() {
+        let mut space = PacketSpace::default();
+        assert_eq!(space.next_pn(), 0);
+        assert_eq!(space.next_pn(), 1);
+        assert_eq!(space.sent_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_receive_is_ignored() {
+        let mut space = PacketSpace::default();
+        assert!(space.on_packet_received(3, EcnCodepoint::Ect0, true));
+        assert!(!space.on_packet_received(3, EcnCodepoint::Ect0, true));
+        assert_eq!(space.ecn_received().ect0, 1);
+    }
+
+    #[test]
+    fn ack_ranges_cover_received_packets() {
+        let mut space = PacketSpace::default();
+        for pn in [0, 1, 2, 5, 6, 9] {
+            space.on_packet_received(pn, EcnCodepoint::NotEct, true);
+        }
+        let ack = space.build_ack(None).unwrap();
+        assert_eq!(ack.largest_acked, 9);
+        assert_eq!(ack.ranges, vec![(9, 9), (5, 6), (0, 2)]);
+        assert!(!space.ack_pending());
+    }
+
+    #[test]
+    fn build_ack_requires_received_packets() {
+        let mut space = PacketSpace::default();
+        assert!(space.build_ack(None).is_none());
+    }
+
+    #[test]
+    fn ack_processing_partitions_sent_packets() {
+        let mut space = PacketSpace::default();
+        for pn in 0..5 {
+            space.on_packet_sent(sent(pn, EcnCodepoint::Ect0));
+        }
+        let ack = AckFrame::contiguous(0, 2, None);
+        let result = space.on_ack_received(&ack);
+        assert_eq!(result.count(), 3);
+        assert_eq!(result.marked_count(), 3);
+        assert!(space.has_unacked());
+        assert_eq!(space.largest_acked(), Some(2));
+        assert_eq!(space.unacked().count(), 2);
+    }
+
+    #[test]
+    fn marked_count_distinguishes_codepoints() {
+        let mut space = PacketSpace::default();
+        space.on_packet_sent(sent(0, EcnCodepoint::Ect0));
+        space.on_packet_sent(sent(1, EcnCodepoint::NotEct));
+        let result = space.on_ack_received(&AckFrame::contiguous(0, 1, None));
+        assert_eq!(result.count(), 2);
+        assert_eq!(result.marked_count(), 1);
+    }
+
+    #[test]
+    fn space_id_mapping() {
+        assert_eq!(SpaceId::for_long_type(LongPacketType::Initial), Some(SpaceId::Initial));
+        assert_eq!(
+            SpaceId::for_long_type(LongPacketType::Handshake),
+            Some(SpaceId::Handshake)
+        );
+        assert_eq!(SpaceId::for_long_type(LongPacketType::Retry), None);
+        assert_eq!(SpaceId::Application.index(), 2);
+    }
+
+    #[test]
+    fn take_unacked_empties_the_space() {
+        let mut space = PacketSpace::default();
+        space.on_packet_sent(sent(0, EcnCodepoint::Ect0));
+        assert_eq!(space.take_unacked().len(), 1);
+        assert!(!space.has_unacked());
+    }
+}

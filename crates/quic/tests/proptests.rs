@@ -1,0 +1,174 @@
+//! Property-based tests for the ECN validation machine and the endpoints.
+
+use proptest::prelude::*;
+use qem_packet::ecn::{EcnCodepoint, EcnCounts};
+use qem_quic::behavior::EcnMirroringBehavior;
+use qem_quic::ecn::{EcnConfig, EcnValidationFailure, EcnValidationState, EcnValidator};
+use qem_quic::http::{HttpRequest, HttpResponse};
+use qem_quic::transport_params::TransportParameters;
+
+fn arb_config() -> impl Strategy<Value = EcnConfig> {
+    prop_oneof![
+        Just(EcnConfig::paper_default()),
+        Just(EcnConfig::rfc_default()),
+    ]
+}
+
+proptest! {
+    /// Honest mirroring (possibly with CE marks applied by a congested but
+    /// compliant network) always validates, regardless of how the ACKs are
+    /// batched.
+    #[test]
+    fn honest_mirroring_always_validates(
+        config in arb_config(),
+        batches in proptest::collection::vec(1u64..4, 1..8),
+        ce_marked in 0u64..3,
+    ) {
+        let mut validator = EcnValidator::new(config);
+        let mut sent_marked = 0u64;
+        // Send the full testing budget.
+        while sent_marked < config.testing_packets {
+            let cp = validator.codepoint_for_next_packet();
+            validator.on_packet_sent(cp);
+            if cp != EcnCodepoint::NotEct {
+                sent_marked += 1;
+            } else {
+                break;
+            }
+        }
+        // Acknowledge it in arbitrary batches with accurate cumulative counts.
+        let mut acked = 0u64;
+        let mut cumulative = EcnCounts::ZERO;
+        let mut ce_budget = ce_marked.min(sent_marked.saturating_sub(1));
+        for batch in batches {
+            let batch = batch.min(sent_marked - acked);
+            if batch == 0 {
+                break;
+            }
+            acked += batch;
+            // A compliant router may have turned *some* (not all) ECT(0)
+            // packets into CE; marking every single one is the "All CE"
+            // failure class and is tested separately.
+            let ce_now = ce_budget.min(batch.saturating_sub(1));
+            ce_budget -= ce_now;
+            cumulative.ect0 += batch - ce_now;
+            cumulative.ce += ce_now;
+            validator.on_ack_received(batch, batch, Some(cumulative));
+            prop_assert!(!matches!(
+                validator.state(),
+                EcnValidationState::Failed(_)
+            ), "honest feedback must never fail validation");
+        }
+        if acked == sent_marked && acked > 0 {
+            prop_assert_eq!(validator.state(), EcnValidationState::Capable);
+        }
+    }
+
+    /// Reporting fewer marks than were acknowledged always ends in a failure
+    /// (undercount or no-mirroring), never in Capable.
+    #[test]
+    fn underreporting_never_validates(
+        config in arb_config(),
+        missing in 1u64..5,
+    ) {
+        let mut validator = EcnValidator::new(config);
+        for _ in 0..config.testing_packets {
+            let cp = validator.codepoint_for_next_packet();
+            validator.on_packet_sent(cp);
+        }
+        let sent = config.testing_packets;
+        let reported = sent.saturating_sub(missing);
+        validator.on_ack_received(
+            sent,
+            sent,
+            Some(EcnCounts { ect0: reported, ect1: 0, ce: 0 }),
+        );
+        prop_assert!(matches!(
+            validator.state(),
+            EcnValidationState::Failed(EcnValidationFailure::Undercount)
+                | EcnValidationState::Failed(EcnValidationFailure::NoMirroring)
+        ));
+    }
+
+    /// The validator's sent counters always dominate what any honest peer
+    /// could report, and marking stops as soon as the state machine reaches a
+    /// failure state.
+    #[test]
+    fn marking_stops_after_failure(config in arb_config()) {
+        let mut validator = EcnValidator::new(config);
+        for _ in 0..config.testing_packets {
+            let cp = validator.codepoint_for_next_packet();
+            validator.on_packet_sent(cp);
+        }
+        validator.on_ack_received(config.testing_packets, config.testing_packets, None);
+        prop_assert!(matches!(validator.state(), EcnValidationState::Failed(_)));
+        prop_assert_eq!(validator.codepoint_for_next_packet(), EcnCodepoint::NotEct);
+    }
+
+    /// The mirroring behaviour profiles never report more total marks than
+    /// they observed (they can only lose or re-label information), except for
+    /// the deliberately dishonest AlwaysCe profile which relabels everything.
+    #[test]
+    fn mirroring_profiles_never_invent_marks(
+        ect0 in 0u64..100,
+        ect1 in 0u64..100,
+        ce in 0u64..100,
+        app_space in any::<bool>(),
+    ) {
+        let observed = EcnCounts { ect0, ect1, ce };
+        for behavior in [
+            EcnMirroringBehavior::None,
+            EcnMirroringBehavior::Accurate,
+            EcnMirroringBehavior::MirrorOnlyHandshake,
+            EcnMirroringBehavior::MirrorAsEct1,
+            EcnMirroringBehavior::AlwaysCe,
+        ] {
+            if let Some(reported) = behavior.report(observed, app_space) {
+                prop_assert!(reported.total() <= observed.total());
+            }
+        }
+    }
+
+    /// Transport parameters and HTTP messages round-trip for arbitrary values
+    /// (the fingerprint clustering relies on byte-exact re-encoding).
+    #[test]
+    fn transport_params_round_trip(
+        idle in 0u64..1_000_000,
+        max_data in 0u64..(1 << 40),
+        streams in 0u64..10_000,
+        ack_exp in 0u64..20,
+    ) {
+        let params = TransportParameters {
+            max_idle_timeout_ms: idle,
+            initial_max_data: max_data,
+            initial_max_streams_bidi: streams,
+            ack_delay_exponent: ack_exp,
+            ..TransportParameters::client_default()
+        };
+        let decoded = TransportParameters::decode(&params.encode()).unwrap();
+        prop_assert_eq!(decoded, params);
+        prop_assert_eq!(decoded.fingerprint(), params.fingerprint());
+    }
+
+    /// The plaintext HTTP layer survives arbitrary authorities and server
+    /// header values.
+    #[test]
+    fn http_round_trips(
+        authority in "[a-z0-9.-]{1,40}",
+        server in proptest::option::of("[A-Za-z0-9/. -]{1,24}"),
+        status in 100u16..600,
+    ) {
+        let request = HttpRequest::get(&authority);
+        let parsed = HttpRequest::decode(&request.encode()).unwrap();
+        prop_assert_eq!(parsed.authority, authority);
+
+        let mut response = HttpResponse::ok();
+        response.status = status;
+        if let Some(server) = &server {
+            response = response.with_server(server);
+        }
+        let parsed = HttpResponse::decode(&response.encode()).unwrap();
+        prop_assert_eq!(parsed.status, status);
+        prop_assert_eq!(parsed.server, server.map(|s| s.trim().to_string()));
+    }
+}

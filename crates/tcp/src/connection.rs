@@ -1,0 +1,442 @@
+//! A deterministic TCP connection simulation over a [`DuplexPath`].
+//!
+//! The exchange mirrors what the study's zgrab-based scanner produces for
+//! each domain: an ECN-setup handshake, an HTTP request, a handful of probe
+//! segments carrying the configured codepoint (`ECT(0)` normally, `CE` in the
+//! §6.3 experiment), the server's response, and a FIN.  Every segment is a
+//! real [`TcpHeader`]-encoded packet pushed through the path simulator, so
+//! path-level ECN impairments act on TCP exactly as they do on QUIC.
+
+use crate::behavior::TcpServerBehavior;
+use qem_netsim::{DuplexPath, TransitOutcome};
+use qem_packet::ecn::{EcnCodepoint, EcnCounts};
+use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
+use qem_packet::tcp::{TcpFlags, TcpHeader};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// Client-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpClientConfig {
+    /// Whether the client requests ECN (sends an ECN-setup SYN).
+    pub ecn_enabled: bool,
+    /// The codepoint set on data segments once ECN is negotiated.  The
+    /// paper's §6.3 run replaces `ECT(0)` with `CE` to force the ECE echo.
+    pub probe_codepoint: EcnCodepoint,
+    /// Number of probe data segments sent after the request.
+    pub probe_segments: u32,
+}
+
+impl TcpClientConfig {
+    /// Standard ECN probing with ECT(0).
+    pub fn ect0() -> Self {
+        TcpClientConfig {
+            ecn_enabled: true,
+            probe_codepoint: EcnCodepoint::Ect0,
+            probe_segments: 5,
+        }
+    }
+
+    /// The §6.3 configuration: probe with CE to trigger the ECE echo.
+    pub fn force_ce() -> Self {
+        TcpClientConfig {
+            probe_codepoint: EcnCodepoint::Ce,
+            ..TcpClientConfig::ect0()
+        }
+    }
+
+    /// ECN disabled entirely.
+    pub fn disabled() -> Self {
+        TcpClientConfig {
+            ecn_enabled: false,
+            probe_codepoint: EcnCodepoint::NotEct,
+            probe_segments: 5,
+        }
+    }
+}
+
+impl Default for TcpClientConfig {
+    fn default() -> Self {
+        TcpClientConfig::ect0()
+    }
+}
+
+/// The observations the scanner records for one TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TcpReport {
+    /// Whether the handshake completed (SYN-ACK received and acknowledged).
+    pub connected: bool,
+    /// Whether ECN was negotiated (tcpinfo's view).
+    pub negotiated: bool,
+    /// Whether the server echoed a CE mark via the ECE flag.
+    pub ce_mirrored: bool,
+    /// Whether the client's CWR was answered (the echo stopped afterwards).
+    pub cwr_acknowledged: bool,
+    /// Codepoints observed on segments arriving at the client
+    /// (the eBPF counter; reveals whether the server *uses* ECN).
+    pub received_ecn: EcnCounts,
+    /// Codepoints observed on segments arriving at the server (ground truth
+    /// about the forward path; a real scan cannot see this).
+    pub server_observed_ecn: EcnCounts,
+    /// Whether any segment from the server carried ECT or CE.
+    pub server_used_ecn: bool,
+    /// Whether an HTTP response arrived.
+    pub response_received: bool,
+    /// Client segments lost on the forward path.
+    pub forward_losses: u32,
+}
+
+struct Wire<'a> {
+    client: IpAddr,
+    server: IpAddr,
+    path: &'a DuplexPath,
+}
+
+impl<'a> Wire<'a> {
+    fn send_forward<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ecn: EcnCodepoint,
+        header: TcpHeader,
+        payload: &[u8],
+    ) -> Option<IpDatagram> {
+        let segment = header.encode(self.client, self.server, payload);
+        let datagram = encapsulate(self.client, self.server, ecn, segment);
+        match self.path.forward.transit(&datagram, rng) {
+            TransitOutcome::Delivered { datagram, .. } => Some(datagram),
+            _ => None,
+        }
+    }
+
+    fn send_reverse<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ecn: EcnCodepoint,
+        header: TcpHeader,
+        payload: &[u8],
+    ) -> Option<IpDatagram> {
+        let segment = header.encode(self.server, self.client, payload);
+        let datagram = encapsulate(self.server, self.client, ecn, segment);
+        match self.path.reverse.transit(&datagram, rng) {
+            TransitOutcome::Delivered { datagram, .. } => Some(datagram),
+            _ => None,
+        }
+    }
+}
+
+fn encapsulate(src: IpAddr, dst: IpAddr, ecn: EcnCodepoint, payload: Vec<u8>) -> IpDatagram {
+    let header = match (src, dst) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => {
+            IpHeader::V4(Ipv4Header::new(s, d, IpProtocol::Tcp, 64).with_ecn(ecn))
+        }
+        (IpAddr::V6(s), IpAddr::V6(d)) => {
+            IpHeader::V6(Ipv6Header::new(s, d, IpProtocol::Tcp, 64).with_ecn(ecn))
+        }
+        _ => IpHeader::V4(
+            Ipv4Header::new(
+                std::net::Ipv4Addr::UNSPECIFIED,
+                std::net::Ipv4Addr::UNSPECIFIED,
+                IpProtocol::Tcp,
+                64,
+            )
+            .with_ecn(ecn),
+        ),
+    };
+    IpDatagram::new(header, payload)
+}
+
+fn decode(datagram: &IpDatagram) -> Option<(TcpHeader, Vec<u8>)> {
+    if datagram.header.protocol() != IpProtocol::Tcp {
+        return None;
+    }
+    TcpHeader::decode(&datagram.payload)
+        .ok()
+        .map(|(h, p)| (h, p.to_vec()))
+}
+
+/// Run one TCP connection between a client at `client_addr` and a server at
+/// `server_addr` over `path`, returning the scanner's observations.
+pub fn run_tcp_connection<R: Rng + ?Sized>(
+    config: TcpClientConfig,
+    behavior: TcpServerBehavior,
+    client_addr: IpAddr,
+    server_addr: IpAddr,
+    path: &DuplexPath,
+    rng: &mut R,
+) -> TcpReport {
+    let wire = Wire {
+        client: client_addr,
+        server: server_addr,
+        path,
+    };
+    let mut report = TcpReport::default();
+    let client_port = 52_000u16;
+    let server_port = 443u16;
+
+    // --- Handshake -------------------------------------------------------
+    let syn_flags = if config.ecn_enabled {
+        TcpFlags::ECN_SETUP_SYN
+    } else {
+        TcpFlags {
+            syn: true,
+            ..TcpFlags::default()
+        }
+    };
+    // The SYN itself is never ECT-marked (RFC 3168 §6.1.1).
+    let syn = TcpHeader::new(client_port, server_port, 1_000, 0, syn_flags);
+    let Some(at_server) = wire.send_forward(rng, EcnCodepoint::NotEct, syn, &[]) else {
+        report.forward_losses += 1;
+        return report;
+    };
+    let Some((syn_seen, _)) = decode(&at_server) else {
+        return report;
+    };
+    report.server_observed_ecn.record(at_server.header.ecn());
+
+    // The server accepts ECN only if the SYN still looks like an ECN setup
+    // (middleboxes clearing TCP flags are out of scope — the paper found the
+    // relevant impairments on the IP layer).
+    let server_ecn = behavior.negotiate_ecn && syn_seen.flags.is_ecn_setup_syn();
+    let syn_ack_flags = TcpFlags {
+        syn: true,
+        ack: true,
+        ece: server_ecn,
+        ..TcpFlags::default()
+    };
+    let syn_ack = TcpHeader::new(server_port, client_port, 5_000, 1_001, syn_ack_flags);
+    let Some(at_client) = wire.send_reverse(rng, EcnCodepoint::NotEct, syn_ack, &[]) else {
+        return report;
+    };
+    let Some((syn_ack_seen, _)) = decode(&at_client) else {
+        return report;
+    };
+    report.received_ecn.record(at_client.header.ecn());
+    report.connected = true;
+    report.negotiated = config.ecn_enabled && syn_ack_seen.flags.is_ecn_setup_syn_ack();
+
+    // Client data codepoint: only marked if ECN was negotiated.
+    let client_data_ecn = if report.negotiated {
+        config.probe_codepoint
+    } else {
+        EcnCodepoint::NotEct
+    };
+    let server_data_ecn = if server_ecn {
+        behavior.egress_ecn
+    } else {
+        EcnCodepoint::NotEct
+    };
+
+    // --- Request + probe segments ----------------------------------------
+    let mut server_saw_ce = false;
+    let mut client_seq = 1_001u32;
+    let request = b"GET / HTTP/1.1\r\nhost: probe\r\n\r\n".to_vec();
+    let mut segments: Vec<Vec<u8>> = vec![request];
+    for i in 0..config.probe_segments {
+        segments.push(format!("probe-{i}").into_bytes());
+    }
+
+    for (index, payload) in segments.iter().enumerate() {
+        let flags = TcpFlags {
+            ack: true,
+            psh: true,
+            // Acknowledge a previously echoed CE with CWR exactly once.
+            cwr: report.ce_mirrored && !report.cwr_acknowledged,
+            ..TcpFlags::default()
+        };
+        if flags.cwr {
+            report.cwr_acknowledged = true;
+        }
+        let header = TcpHeader::new(client_port, server_port, client_seq, 5_001, flags);
+        client_seq = client_seq.wrapping_add(payload.len() as u32);
+        let Some(at_server) = wire.send_forward(rng, client_data_ecn, header, payload) else {
+            report.forward_losses += 1;
+            continue;
+        };
+        report.server_observed_ecn.record(at_server.header.ecn());
+        if at_server.header.ecn() == EcnCodepoint::Ce {
+            server_saw_ce = true;
+        }
+
+        // The server acknowledges each segment; it echoes ECE while it has an
+        // unacknowledged CE (RFC 3168 §6.1.3) if it mirrors at all.
+        let echo = server_ecn && behavior.mirror_ce && server_saw_ce && !report.cwr_acknowledged;
+        let ack_flags = TcpFlags {
+            ack: true,
+            ece: echo,
+            ..TcpFlags::default()
+        };
+        let ack = TcpHeader::new(server_port, client_port, 5_001, client_seq, ack_flags);
+        if let Some(at_client) = wire.send_reverse(rng, server_data_ecn, ack, &[]) {
+            report.received_ecn.record(at_client.header.ecn());
+            if let Some((ack_seen, _)) = decode(&at_client) {
+                if ack_seen.flags.ece {
+                    report.ce_mirrored = true;
+                }
+            }
+        }
+
+        // Serve the HTTP response right after the request segment.
+        if index == 0 && behavior.serves_http {
+            let body = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok".to_vec();
+            let resp_flags = TcpFlags {
+                ack: true,
+                psh: true,
+                ..TcpFlags::default()
+            };
+            let resp = TcpHeader::new(server_port, client_port, 5_001, client_seq, resp_flags);
+            if let Some(at_client) = wire.send_reverse(rng, server_data_ecn, resp, &body) {
+                report.received_ecn.record(at_client.header.ecn());
+                report.response_received = true;
+            }
+        }
+    }
+
+    report.server_used_ecn = report.received_ecn.total() > 0;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_netsim::{build_transit_path, Asn, TransitProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn addrs() -> (IpAddr, IpAddr) {
+        (
+            IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+            IpAddr::V4(Ipv4Addr::new(203, 0, 113, 20)),
+        )
+    }
+
+    fn clean() -> DuplexPath {
+        DuplexPath::symmetric_clean_reverse(build_transit_path(
+            Asn::DFN,
+            Asn(13335),
+            TransitProfile::Clean,
+            false,
+        ))
+    }
+
+    fn run(config: TcpClientConfig, behavior: TcpServerBehavior, path: &DuplexPath) -> TcpReport {
+        let (c, s) = addrs();
+        let mut rng = StdRng::seed_from_u64(42);
+        run_tcp_connection(config, behavior, c, s, path, &mut rng)
+    }
+
+    #[test]
+    fn ce_probe_against_full_ecn_server_is_mirrored() {
+        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::full_ecn(), &clean());
+        assert!(report.connected);
+        assert!(report.negotiated);
+        assert!(report.ce_mirrored);
+        assert!(report.cwr_acknowledged);
+        assert!(report.response_received);
+        assert!(report.server_used_ecn);
+        assert!(report.server_observed_ecn.ce >= 1);
+    }
+
+    #[test]
+    fn ect0_probe_is_not_echoed_as_ece() {
+        let report = run(TcpClientConfig::ect0(), TcpServerBehavior::full_ecn(), &clean());
+        assert!(report.negotiated);
+        assert!(!report.ce_mirrored);
+        assert!(report.server_observed_ecn.ect0 >= 5);
+    }
+
+    #[test]
+    fn non_ecn_server_refuses_negotiation() {
+        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::no_ecn(), &clean());
+        assert!(report.connected);
+        assert!(!report.negotiated);
+        assert!(!report.ce_mirrored);
+        // Without negotiation the client never marks its segments.
+        assert_eq!(report.server_observed_ecn.ce, 0);
+    }
+
+    #[test]
+    fn disabled_client_never_negotiates() {
+        let report = run(TcpClientConfig::disabled(), TcpServerBehavior::full_ecn(), &clean());
+        assert!(report.connected);
+        assert!(!report.negotiated);
+        assert_eq!(report.server_observed_ecn.total(), 0);
+    }
+
+    #[test]
+    fn negotiating_server_without_mirroring_shows_no_echo() {
+        let report = run(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::negotiate_without_mirroring(),
+            &clean(),
+        );
+        assert!(report.negotiated);
+        assert!(!report.ce_mirrored);
+    }
+
+    #[test]
+    fn mirror_only_server_does_not_use_ecn() {
+        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::mirror_only(), &clean());
+        assert!(report.ce_mirrored);
+        assert!(!report.server_used_ecn);
+    }
+
+    #[test]
+    fn clearing_path_defeats_ce_mirroring_for_tcp_too() {
+        let forward = build_transit_path(
+            Asn::DFN,
+            Asn(13335),
+            TransitProfile::Clearing { asn: Asn::ARELION },
+            false,
+        );
+        let path = DuplexPath::symmetric_clean_reverse(forward);
+        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::full_ecn(), &path);
+        assert!(report.negotiated, "negotiation is flag-based and survives");
+        assert!(!report.ce_mirrored, "the CE mark never reaches the server");
+        assert_eq!(report.server_observed_ecn.ce, 0);
+    }
+
+    #[test]
+    fn remarking_path_does_not_disturb_tcp() {
+        // The paper's §9 point: ECT(0)→ECT(1) re-marking is invisible to
+        // classic TCP; CE still gets through and is echoed.
+        let forward = build_transit_path(
+            Asn::DFN,
+            Asn(13335),
+            TransitProfile::Remarking { asn: Asn::ARELION },
+            false,
+        );
+        let path = DuplexPath::symmetric_clean_reverse(forward);
+        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::full_ecn(), &path);
+        assert!(report.negotiated);
+        assert!(report.ce_mirrored);
+    }
+
+    #[test]
+    fn total_loss_reports_unconnected() {
+        use qem_netsim::{Hop, Path, Router};
+        let lossy = Path::new(vec![Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0)]);
+        let path = DuplexPath::new(lossy, Path::empty());
+        let report = run(TcpClientConfig::ect0(), TcpServerBehavior::full_ecn(), &path);
+        assert!(!report.connected);
+        assert!(report.forward_losses >= 1);
+    }
+
+    #[test]
+    fn ipv6_tcp_connection_works() {
+        let forward = build_transit_path(Asn::DFN, Asn(13335), TransitProfile::Clean, true);
+        let path = DuplexPath::symmetric_clean_reverse(forward);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = run_tcp_connection(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::full_ecn(),
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:2::9".parse().unwrap(),
+            &path,
+            &mut rng,
+        );
+        assert!(report.connected);
+        assert!(report.ce_mirrored);
+    }
+}

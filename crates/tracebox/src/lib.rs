@@ -1,0 +1,29 @@
+//! A tracebox-style network path tracer (paper §4.2).
+//!
+//! When the transport-layer analysis shows abnormal behaviour for a host —
+//! missing ECN mirroring, or codepoints coming back different from what was
+//! sent — the study probes the forward path: QUIC Initial packets carrying
+//! `ECT(0)` are sent with increasing TTLs, and the ICMP *time exceeded*
+//! responses, which quote the expired packet, reveal which ECN / DSCP value
+//! the packet carried when it reached each hop.  Comparing consecutive quotes
+//! localises clearing and re-marking and lets the pipeline attribute the
+//! impairment to an AS (Tables 4 and 7).
+//!
+//! Operational details reproduced from the paper:
+//!
+//! * 3 s timeout per hop,
+//! * the trace stops after 5 consecutive silent hops (ICMP rate limiting or
+//!   blackholing),
+//! * probes are QUIC Initials so that middleboxes treat them like the real
+//!   measurement traffic,
+//! * the trace runs until the destination is reached or the TTL budget is
+//!   exhausted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod tracer;
+
+pub use analysis::{analyze_trace, EcnChange, PathVerdict, TraceAnalysis};
+pub use tracer::{trace_path, HopObservation, PathTrace, TraceConfig};

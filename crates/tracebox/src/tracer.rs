@@ -1,0 +1,363 @@
+//! The TTL-sweep probe engine.
+
+use qem_netsim::{Path, SimDuration, TransitOutcome};
+use qem_packet::ecn::{Dscp, EcnCodepoint};
+use qem_packet::icmp::IcmpMessage;
+use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
+use qem_packet::quic::{
+    ConnectionId, Frame, LongPacketType, PacketHeader, QuicPacket, QuicVersion, MIN_INITIAL_SIZE,
+    QUIC_PORT,
+};
+use qem_packet::udp::UdpHeader;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// Configuration of a path trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Largest TTL probed.
+    pub max_ttl: u8,
+    /// Per-hop timeout (the paper uses 3 s).
+    pub per_hop_timeout: SimDuration,
+    /// Number of consecutive unanswered hops tolerated before the trace stops
+    /// (the paper uses 5).
+    pub max_consecutive_timeouts: u32,
+    /// ECN codepoint carried by the probes.
+    pub probe_codepoint: EcnCodepoint,
+    /// DSCP carried by the probes.
+    pub probe_dscp: Dscp,
+    /// QUIC version advertised by the probe Initials.
+    pub probe_version: QuicVersion,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            max_ttl: 32,
+            per_hop_timeout: SimDuration::from_secs(3),
+            max_consecutive_timeouts: 5,
+            probe_codepoint: EcnCodepoint::Ect0,
+            probe_dscp: Dscp::BEST_EFFORT,
+            probe_version: QuicVersion::V1,
+        }
+    }
+}
+
+/// What the tracer learnt about one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopObservation {
+    /// TTL of the probe that produced this observation.
+    pub ttl: u8,
+    /// Address of the router that answered, if any.
+    pub router: Option<IpAddr>,
+    /// ECN codepoint the probe carried when it reached this hop, if the
+    /// quotation was long enough to recover it.
+    pub observed_ecn: Option<EcnCodepoint>,
+    /// DSCP the probe carried when it reached this hop.
+    pub observed_dscp: Option<Dscp>,
+    /// Whether this hop stayed silent (timeout).
+    pub timed_out: bool,
+}
+
+/// A complete trace towards one destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathTrace {
+    /// The destination that was probed.
+    pub destination: IpAddr,
+    /// The codepoint the probes were sent with.
+    pub sent_codepoint: EcnCodepoint,
+    /// The DSCP the probes were sent with.
+    pub sent_dscp: Dscp,
+    /// Per-hop observations in TTL order.
+    pub hops: Vec<HopObservation>,
+    /// Whether a probe eventually reached the destination.
+    pub destination_reached: bool,
+    /// Total number of probes sent.
+    pub probes_sent: u32,
+    /// Simulated time spent waiting on timeouts.
+    pub time_spent: SimDuration,
+}
+
+impl PathTrace {
+    /// Observations for which the ECN codepoint could be recovered.
+    pub fn observed_hops(&self) -> impl Iterator<Item = &HopObservation> {
+        self.hops.iter().filter(|h| h.observed_ecn.is_some())
+    }
+
+    /// Number of hops that answered.
+    pub fn responding_hops(&self) -> usize {
+        self.hops.iter().filter(|h| !h.timed_out).count()
+    }
+}
+
+/// Build one probe: a padded QUIC Initial inside UDP inside IP with the given
+/// TTL and traffic class.
+fn build_probe(
+    source: IpAddr,
+    destination: IpAddr,
+    ttl: u8,
+    config: &TraceConfig,
+    seq: u32,
+) -> IpDatagram {
+    let mut payload = Frame::encode_all(&[Frame::Ping]);
+    // Pad so that the whole IP datagram clears the 1200-byte Initial minimum
+    // (QUIC long header + UDP + IP headers add roughly 50–70 bytes).
+    Frame::Padding {
+        size: MIN_INITIAL_SIZE - 40,
+    }
+    .encode(&mut payload);
+    let packet = QuicPacket::new(
+        PacketHeader::Long {
+            ty: LongPacketType::Initial,
+            version: config.probe_version,
+            dcid: ConnectionId::from_u64(0x7261_6365_0000_0000 | u64::from(seq)),
+            scid: ConnectionId::from_u64(0x7372_6300_0000_0000 | u64::from(seq)),
+            token: Vec::new(),
+            packet_number: 0,
+        },
+        payload,
+    );
+    let udp = UdpHeader::new(44_000 + (seq as u16 % 1000), QUIC_PORT).encode(
+        source,
+        destination,
+        &packet.encode(),
+    );
+    let header = match (source, destination) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => IpHeader::V4(
+            Ipv4Header::new(s, d, IpProtocol::Udp, ttl)
+                .with_ecn(config.probe_codepoint)
+                .with_dscp(config.probe_dscp),
+        ),
+        (IpAddr::V6(s), IpAddr::V6(d)) => {
+            let mut h = Ipv6Header::new(s, d, IpProtocol::Udp, ttl).with_ecn(config.probe_codepoint);
+            h.dscp = config.probe_dscp;
+            IpHeader::V6(h)
+        }
+        _ => IpHeader::V4(
+            Ipv4Header::new(
+                std::net::Ipv4Addr::UNSPECIFIED,
+                std::net::Ipv4Addr::UNSPECIFIED,
+                IpProtocol::Udp,
+                ttl,
+            )
+            .with_ecn(config.probe_codepoint),
+        ),
+    };
+    IpDatagram::new(header, udp)
+}
+
+/// Extract the quoted traffic class from an ICMP time-exceeded response.
+fn parse_quote(response: &IpDatagram) -> Option<(EcnCodepoint, Dscp)> {
+    let v6 = response.header.is_v6();
+    let icmp = IcmpMessage::decode(&response.payload, v6).ok()?;
+    if !icmp.is_time_exceeded() {
+        return None;
+    }
+    // The quote starts with the original IP header; a partial quote may still
+    // contain the full fixed header (20 / 40 bytes), otherwise give up.
+    let (header, _) = IpHeader::decode(icmp.quote()).ok()?;
+    Some((header.ecn(), header.dscp()))
+}
+
+/// Run a trace over `path` towards `destination`.
+pub fn trace_path<R: Rng + ?Sized>(
+    path: &Path,
+    source: IpAddr,
+    destination: IpAddr,
+    config: &TraceConfig,
+    rng: &mut R,
+) -> PathTrace {
+    let mut trace = PathTrace {
+        destination,
+        sent_codepoint: config.probe_codepoint,
+        sent_dscp: config.probe_dscp,
+        hops: Vec::new(),
+        destination_reached: false,
+        probes_sent: 0,
+        time_spent: SimDuration::ZERO,
+    };
+    let mut consecutive_timeouts = 0u32;
+    for ttl in 1..=config.max_ttl {
+        let probe = build_probe(source, destination, ttl, config, u32::from(ttl));
+        trace.probes_sent += 1;
+        match path.transit(&probe, rng) {
+            TransitOutcome::TimeExceeded { response, delay, .. } => {
+                consecutive_timeouts = 0;
+                trace.time_spent += delay;
+                let observed = parse_quote(&response);
+                trace.hops.push(HopObservation {
+                    ttl,
+                    router: Some(response.header.src()),
+                    observed_ecn: observed.map(|(e, _)| e),
+                    observed_dscp: observed.map(|(_, d)| d),
+                    timed_out: false,
+                });
+            }
+            TransitOutcome::Delivered { .. } => {
+                trace.destination_reached = true;
+                break;
+            }
+            TransitOutcome::Expired { .. } | TransitOutcome::Dropped { .. } => {
+                consecutive_timeouts += 1;
+                trace.time_spent += config.per_hop_timeout;
+                trace.hops.push(HopObservation {
+                    ttl,
+                    router: None,
+                    observed_ecn: None,
+                    observed_dscp: None,
+                    timed_out: true,
+                });
+                if consecutive_timeouts >= config.max_consecutive_timeouts {
+                    break;
+                }
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qem_netsim::{build_transit_path, Asn, EcnPolicy, Hop, IcmpBehavior, PathBuilder, Router, TransitProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn endpoints() -> (IpAddr, IpAddr) {
+        (
+            IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+            IpAddr::V4(Ipv4Addr::new(203, 0, 113, 99)),
+        )
+    }
+
+    #[test]
+    fn clean_path_shows_sent_codepoint_at_every_hop() {
+        let path = build_transit_path(Asn::DFN, Asn(13335), TransitProfile::Clean, false);
+        let (src, dst) = endpoints();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
+        assert!(trace.destination_reached);
+        assert_eq!(trace.responding_hops(), path.len());
+        assert!(trace
+            .observed_hops()
+            .all(|h| h.observed_ecn == Some(EcnCodepoint::Ect0)));
+    }
+
+    #[test]
+    fn clearing_path_shows_transition_to_not_ect() {
+        let path = build_transit_path(
+            Asn::DFN,
+            Asn(13335),
+            TransitProfile::Clearing { asn: Asn::ARELION },
+            false,
+        );
+        let (src, dst) = endpoints();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
+        let observed: Vec<_> = trace.observed_hops().map(|h| h.observed_ecn.unwrap()).collect();
+        assert!(observed.contains(&EcnCodepoint::Ect0));
+        assert!(observed.contains(&EcnCodepoint::NotEct));
+        // Once cleared it never comes back.
+        let first_clear = observed.iter().position(|e| *e == EcnCodepoint::NotEct).unwrap();
+        assert!(observed[first_clear..].iter().all(|e| *e == EcnCodepoint::NotEct));
+    }
+
+    #[test]
+    fn silent_hops_are_tolerated_up_to_the_limit() {
+        let path = PathBuilder::new()
+            .transparent_hops(Asn::DFN, 1)
+            .custom_hop(Router::transparent(10, Asn::ARELION).with_icmp(IcmpBehavior::silent()))
+            .custom_hop(Router::transparent(11, Asn::ARELION).with_icmp(IcmpBehavior::silent()))
+            .transparent_hops(Asn(13335), 1)
+            .build();
+        let (src, dst) = endpoints();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
+        assert!(trace.destination_reached);
+        assert_eq!(trace.hops.iter().filter(|h| h.timed_out).count(), 2);
+    }
+
+    #[test]
+    fn too_many_silent_hops_abort_the_trace() {
+        let mut builder = PathBuilder::new().transparent_hops(Asn::DFN, 1);
+        for i in 0..8 {
+            builder = builder
+                .custom_hop(Router::transparent(20 + i, Asn::ARELION).with_icmp(IcmpBehavior::silent()));
+        }
+        let path = builder.transparent_hops(Asn(13335), 1).build();
+        let (src, dst) = endpoints();
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = TraceConfig::default();
+        let trace = trace_path(&path, src, dst, &config, &mut rng);
+        assert!(!trace.destination_reached);
+        let trailing_timeouts = trace
+            .hops
+            .iter()
+            .rev()
+            .take_while(|h| h.timed_out)
+            .count() as u32;
+        assert_eq!(trailing_timeouts, config.max_consecutive_timeouts);
+        assert!(trace.time_spent >= config.per_hop_timeout.mul(5));
+    }
+
+    #[test]
+    fn minimal_quotes_still_reveal_the_traffic_class() {
+        let path = PathBuilder::new()
+            .custom_hop(
+                Router::transparent(1, Asn::DFN)
+                    .with_icmp(IcmpBehavior::minimal_quote())
+                    .with_ecn_policy(EcnPolicy::Pass),
+            )
+            .transparent_hops(Asn(13335), 1)
+            .build();
+        let (src, dst) = endpoints();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
+        assert_eq!(trace.hops[0].observed_ecn, Some(EcnCodepoint::Ect0));
+    }
+
+    #[test]
+    fn probe_is_a_padded_quic_initial() {
+        let (src, dst) = endpoints();
+        let probe = build_probe(src, dst, 3, &TraceConfig::default(), 3);
+        assert!(probe.wire_len() >= MIN_INITIAL_SIZE);
+        assert_eq!(probe.header.ttl(), 3);
+        assert_eq!(probe.header.ecn(), EcnCodepoint::Ect0);
+        let (_, udp_payload) = UdpHeader::decode(&probe.payload).unwrap();
+        let (packet, _) = QuicPacket::decode(udp_payload, 8).unwrap();
+        assert!(packet.header.is_initial());
+    }
+
+    #[test]
+    fn lossy_first_hop_counts_as_timeout() {
+        let path = qem_netsim::Path::new(vec![
+            Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0),
+        ]);
+        let (src, dst) = endpoints();
+        let mut rng = StdRng::seed_from_u64(6);
+        let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
+        assert!(!trace.destination_reached);
+        assert!(trace.hops.iter().all(|h| h.timed_out));
+    }
+
+    #[test]
+    fn ipv6_trace_works() {
+        let path = build_transit_path(
+            Asn::DFN,
+            Asn(13335),
+            TransitProfile::Remarking { asn: Asn::ARELION },
+            true,
+        );
+        let src: IpAddr = "2001:db8::10".parse().unwrap();
+        let dst: IpAddr = "2001:db8:5::1".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
+        assert!(trace.destination_reached);
+        assert!(trace
+            .observed_hops()
+            .any(|h| h.observed_ecn == Some(EcnCodepoint::Ect1)));
+        assert!(trace.hops.iter().all(|h| h.router.map_or(true, |r| r.is_ipv6())));
+    }
+}

@@ -1,0 +1,98 @@
+//! Measurement snapshot dates.
+//!
+//! The study runs weekly; this reproduction models the monthly granularity
+//! the longitudinal figures (3, 4 and 8) are drawn at, plus the specific
+//! measurement weeks referenced by the tables (week 13/15/16/20 of 2023).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A year/month snapshot date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SnapshotDate {
+    /// Calendar year.
+    pub year: u16,
+    /// Calendar month (1–12).
+    pub month: u8,
+}
+
+impl SnapshotDate {
+    /// Construct a snapshot date.
+    pub const fn new(year: u16, month: u8) -> Self {
+        SnapshotDate { year, month }
+    }
+
+    /// June 2022 — the start of the longitudinal window (Figure 3).
+    pub const JUN_2022: SnapshotDate = SnapshotDate::new(2022, 6);
+    /// February 2023 — the mirroring low point (Figure 4).
+    pub const FEB_2023: SnapshotDate = SnapshotDate::new(2023, 2);
+    /// March 2023 — the lsquic 4.0 release and the mirroring jump.
+    pub const MAR_2023: SnapshotDate = SnapshotDate::new(2023, 3);
+    /// April 2023 — the main IPv4 measurement week (week 15/2023, Tables 1–7).
+    pub const APR_2023: SnapshotDate = SnapshotDate::new(2023, 4);
+    /// The IPv6 measurement (week 13/2023) also falls in late March.
+    pub const IPV6_WEEK: SnapshotDate = SnapshotDate::new(2023, 3);
+    /// May 2023 — the TCP-vs-QUIC CE experiment (week 20/2023, Figure 6).
+    pub const MAY_2023: SnapshotDate = SnapshotDate::new(2023, 5);
+
+    /// Months elapsed since June 2022 (can be negative conceptually, clamped
+    /// to zero here because the model starts at that date).
+    pub fn months_since_start(self) -> u32 {
+        let total = u32::from(self.year) * 12 + u32::from(self.month) - 1;
+        let start = 2022 * 12 + 5;
+        total.saturating_sub(start)
+    }
+
+    /// The monthly sequence from June 2022 to April 2023 inclusive, the range
+    /// Figure 3 plots.
+    pub fn longitudinal_range() -> Vec<SnapshotDate> {
+        let mut out = Vec::new();
+        for month in 6..=12 {
+            out.push(SnapshotDate::new(2022, month));
+        }
+        for month in 1..=4 {
+            out.push(SnapshotDate::new(2023, month));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SnapshotDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}-{:02}", self.year % 100, self.month)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SnapshotDate::JUN_2022 < SnapshotDate::FEB_2023);
+        assert!(SnapshotDate::FEB_2023 < SnapshotDate::MAR_2023);
+        assert!(SnapshotDate::MAR_2023 < SnapshotDate::APR_2023);
+    }
+
+    #[test]
+    fn months_since_start() {
+        assert_eq!(SnapshotDate::JUN_2022.months_since_start(), 0);
+        assert_eq!(SnapshotDate::new(2022, 7).months_since_start(), 1);
+        assert_eq!(SnapshotDate::APR_2023.months_since_start(), 10);
+    }
+
+    #[test]
+    fn longitudinal_range_matches_figure_3() {
+        let range = SnapshotDate::longitudinal_range();
+        assert_eq!(range.len(), 11);
+        assert_eq!(range[0], SnapshotDate::JUN_2022);
+        assert_eq!(*range.last().unwrap(), SnapshotDate::APR_2023);
+        assert!(range.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_matches_paper_axis_labels() {
+        assert_eq!(SnapshotDate::JUN_2022.to_string(), "22-06");
+        assert_eq!(SnapshotDate::APR_2023.to_string(), "23-04");
+    }
+}

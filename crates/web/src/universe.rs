@@ -1,0 +1,620 @@
+//! The seeded universe generator: hosts, domains, DNS and toplists.
+
+use crate::as2org::AsOrgDb;
+use crate::providers::{default_landscape, BackgroundSpec, LandscapeSpec, SegmentSpec, TcpEcnProfile};
+use crate::snapshot::SnapshotDate;
+use crate::stacks::StackProfile;
+use qem_netsim::{build_duplex_path, Asn, DuplexPath, TransitProfile};
+use qem_quic::behavior::ServerBehavior;
+use qem_tcp::TcpServerBehavior;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Parameters of universe generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniverseConfig {
+    /// Scale factor relative to the paper's population (1.0 = 183 M domains).
+    pub scale: f64,
+    /// RNG seed; the same seed always yields the same universe.
+    pub seed: u64,
+    /// Keep at least one domain for segments whose scaled size rounds to
+    /// zero (e.g. the four "All CE" domains), so rare classes stay visible.
+    pub ensure_rare_segments: bool,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            scale: 0.001,
+            seed: 42,
+            ensure_rare_segments: true,
+        }
+    }
+}
+
+impl UniverseConfig {
+    /// A smaller universe for fast unit tests (1:10000 scale).
+    pub fn tiny() -> Self {
+        UniverseConfig {
+            scale: 0.0001,
+            seed: 7,
+            ensure_rare_segments: true,
+        }
+    }
+
+    fn scaled(&self, paper_count: u64) -> u64 {
+        let scaled = (paper_count as f64 * self.scale).round() as u64;
+        if scaled == 0 && paper_count > 0 && self.ensure_rare_segments {
+            1
+        } else {
+            scaled
+        }
+    }
+}
+
+/// Which domain lists a domain appears on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DomainLists {
+    /// Member of the `.com/.net/.org` zone files.
+    pub cno: bool,
+    /// Alexa Top 1M.
+    pub alexa: bool,
+    /// Cisco Umbrella.
+    pub umbrella: bool,
+    /// Majestic Million.
+    pub majestic: bool,
+    /// Tranco.
+    pub tranco: bool,
+}
+
+impl DomainLists {
+    /// Whether the domain is on any of the four toplists.
+    pub fn toplist(&self) -> bool {
+        self.alexa || self.umbrella || self.majestic || self.tranco
+    }
+}
+
+/// A web host (one IP, possibly dual-stacked, serving many domains).
+#[derive(Debug, Clone, Serialize)]
+pub struct Host {
+    /// Index in [`Universe::hosts`].
+    pub id: usize,
+    /// IPv4 address.
+    pub ipv4: Ipv4Addr,
+    /// IPv6 address, if the host is dual-stacked.
+    pub ipv6: Option<Ipv6Addr>,
+    /// Index of the owning provider in [`Universe::providers`].
+    pub provider: usize,
+    /// The provider's ASN.
+    pub asn: Asn,
+    /// QUIC stack, or `None` for TCP-only hosts.
+    pub stack: Option<StackProfile>,
+    /// Calibration segment this host came from (diagnostics only).
+    pub segment: &'static str,
+    /// Whether the host sets ECN codepoints on its own QUIC packets.
+    pub uses_ecn: bool,
+    /// Per-host quantile controlling LiteSpeed upgrade timing.
+    pub upgrade_quantile: f64,
+    /// Per-host quantile controlling when the host became QUIC-capable.
+    pub availability_quantile: f64,
+    /// Whether the HTTP `server` header is suppressed.
+    pub suppress_server_header: bool,
+    /// Transit behaviour of the IPv4 forward path from the main vantage point.
+    pub transit_v4: TransitProfile,
+    /// Transit behaviour of the IPv6 forward path.
+    pub transit_v6: TransitProfile,
+    /// TCP ECN behaviour.
+    pub tcp_profile: TcpEcnProfile,
+}
+
+impl Host {
+    /// The fraction of (eventually QUIC-capable) hosts already reachable via
+    /// QUIC at `date`; grows from ~82 % in June 2022 to 100 % in April 2023,
+    /// reproducing the total-QUIC growth of Figure 3.
+    fn availability_fraction(date: SnapshotDate) -> f64 {
+        let m = date.months_since_start().min(11) as f64;
+        (0.80 + 0.02 * m).min(1.0)
+    }
+
+    /// Whether the host answers QUIC at all at `date`.
+    pub fn quic_available_at(&self, date: SnapshotDate) -> bool {
+        self.stack.is_some() && self.availability_quantile < Self::availability_fraction(date)
+    }
+
+    /// The QUIC behaviour of the host at `date` (`None` when the host is not
+    /// reachable via QUIC at that date).
+    pub fn quic_behavior_at(&self, date: SnapshotDate) -> Option<ServerBehavior> {
+        if !self.quic_available_at(date) {
+            return None;
+        }
+        self.stack.map(|stack| {
+            stack.behavior_at(
+                date,
+                self.upgrade_quantile,
+                self.uses_ecn,
+                self.suppress_server_header,
+            )
+        })
+    }
+
+    /// TCP behaviour of the host.
+    pub fn tcp_behavior(&self) -> TcpServerBehavior {
+        self.tcp_profile.behavior()
+    }
+
+    /// Address of the host for the requested IP version.
+    pub fn addr(&self, v6: bool) -> Option<IpAddr> {
+        if v6 {
+            self.ipv6.map(IpAddr::V6)
+        } else {
+            Some(IpAddr::V4(self.ipv4))
+        }
+    }
+
+    /// Build the duplex path between a vantage point in `vantage_asn` and
+    /// this host, applying the calibrated transit behaviour on the forward
+    /// direction (the reverse path is clean, as the study can only observe —
+    /// and the paper only reports — forward-path impairments).
+    pub fn duplex_path_from(&self, vantage_asn: Asn, v6: bool) -> DuplexPath {
+        let transit = if v6 { self.transit_v6 } else { self.transit_v4 };
+        build_duplex_path(vantage_asn, self.asn, transit, TransitProfile::Clean, v6)
+    }
+}
+
+/// A domain name with its DNS resolution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Domain {
+    /// The domain name.
+    pub name: String,
+    /// Which lists the domain appears on.
+    pub lists: DomainLists,
+    /// The host serving the domain (`None` = does not resolve).
+    pub host: Option<usize>,
+    /// Synthetic parking NS record, set for parked domains.
+    pub parking_ns: Option<String>,
+}
+
+impl Domain {
+    /// Whether the domain resolves to an address of the requested family.
+    pub fn resolves(&self, universe: &Universe, v6: bool) -> bool {
+        self.host
+            .map(|h| universe.hosts[h].addr(v6).is_some())
+            .unwrap_or(false)
+    }
+}
+
+/// A provider as materialised in the universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderInfo {
+    /// Organisation name.
+    pub name: String,
+    /// Primary ASN.
+    pub asn: Asn,
+}
+
+/// The generated web landscape.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Generation parameters.
+    pub config: UniverseConfig,
+    /// Hosting providers.
+    pub providers: Vec<ProviderInfo>,
+    /// Hosts (QUIC and TCP-only).
+    pub hosts: Vec<Host>,
+    /// Domains.
+    pub domains: Vec<Domain>,
+    /// The AS-organisation / prefix database.
+    pub as_org: AsOrgDb,
+}
+
+impl Universe {
+    /// Generate the default landscape at the configured scale.
+    pub fn generate(config: &UniverseConfig) -> Universe {
+        Self::generate_from(&default_landscape(), config)
+    }
+
+    /// Generate a universe from an explicit landscape specification.
+    pub fn generate_from(landscape: &LandscapeSpec, config: &UniverseConfig) -> Universe {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut universe = Universe {
+            config: *config,
+            providers: Vec::new(),
+            hosts: Vec::new(),
+            domains: Vec::new(),
+            as_org: AsOrgDb::new(),
+        };
+
+        for (index, provider) in landscape.providers.iter().enumerate() {
+            let provider_idx = universe.providers.len();
+            universe.providers.push(ProviderInfo {
+                name: provider.name.to_string(),
+                asn: provider.asn,
+            });
+            universe
+                .as_org
+                .register_org(provider.asn, provider.name, &provider.sibling_asns);
+            let octet = 60 + index as u8;
+            universe.as_org.register_v4_prefix(octet, provider.asn);
+            universe.as_org.register_v6_prefix(index as u16, provider.asn);
+            for segment in &provider.segments {
+                universe.add_segment(provider_idx, octet, index as u16, segment, landscape, &mut rng, config);
+            }
+        }
+
+        // TCP-only background hosts.
+        for (index, background) in landscape.background.iter().enumerate() {
+            let provider_idx = universe.providers.len();
+            let asn = Asn(65000 + index as u32);
+            let name = format!("Shared Hosting {index}");
+            universe.providers.push(ProviderInfo {
+                name: name.clone(),
+                asn,
+            });
+            universe.as_org.register_org(asn, &name, &[]);
+            let octet = 140 + index as u8;
+            universe.as_org.register_v4_prefix(octet, asn);
+            universe
+                .as_org
+                .register_v6_prefix(1000 + index as u16, asn);
+            universe.add_background(provider_idx, octet, 1000 + index as u16, background, &mut rng, config);
+        }
+
+        // Unresolved domains.
+        let unresolved_cno = config.scaled(landscape.cno_unresolved);
+        let unresolved_top = config.scaled(landscape.toplist_unresolved);
+        for i in 0..unresolved_cno {
+            let name = format!("nxdomain-{i}.{}", tld(&mut rng));
+            universe.domains.push(Domain {
+                name,
+                lists: DomainLists {
+                    cno: true,
+                    ..DomainLists::default()
+                },
+                host: None,
+                parking_ns: None,
+            });
+        }
+        for i in 0..unresolved_top {
+            universe.domains.push(Domain {
+                name: format!("gone-top-{i}.example"),
+                lists: toplist_membership(&mut rng),
+                host: None,
+                parking_ns: None,
+            });
+        }
+
+        universe
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_segment(
+        &mut self,
+        provider_idx: usize,
+        v4_octet: u8,
+        v6_index: u16,
+        segment: &SegmentSpec,
+        landscape: &LandscapeSpec,
+        rng: &mut StdRng,
+        config: &UniverseConfig,
+    ) {
+        let cno = config.scaled(segment.cno_quic_domains);
+        let top = config.scaled(segment.toplist_quic_domains);
+        let total = cno + top;
+        if total == 0 {
+            return;
+        }
+        let hosts_needed =
+            ((total + u64::from(segment.domains_per_ip) - 1) / u64::from(segment.domains_per_ip)).max(1);
+        let first_host = self.hosts.len();
+        let asn = self.providers[provider_idx].asn;
+        for h in 0..hosts_needed {
+            let id = self.hosts.len();
+            let host_no = id as u32;
+            let ipv4 = Ipv4Addr::new(
+                v4_octet,
+                ((host_no >> 16) & 0xff) as u8,
+                ((host_no >> 8) & 0xff) as u8,
+                (host_no & 0xff) as u8,
+            );
+            let has_v6 = rng.gen_bool(segment.ipv6_share.clamp(0.0, 1.0));
+            let ipv6 = has_v6.then(|| {
+                Ipv6Addr::new(0x2001, 0x0db8, v6_index, 0, 0, 0, (host_no >> 16) as u16, host_no as u16)
+            });
+            self.hosts.push(Host {
+                id,
+                ipv4,
+                ipv6,
+                provider: provider_idx,
+                asn,
+                stack: Some(segment.stack),
+                segment: segment.label,
+                uses_ecn: segment.uses_ecn,
+                upgrade_quantile: rng.gen::<f64>(),
+                availability_quantile: rng.gen::<f64>(),
+                suppress_server_header: rng.gen_bool(segment.header_suppressed_share.clamp(0.0, 1.0)),
+                transit_v4: segment.transit_v4,
+                transit_v6: segment.transit_v6,
+                tcp_profile: segment.tcp,
+            });
+            let _ = h;
+        }
+        let provider_name = self.providers[provider_idx].name.to_lowercase().replace(' ', "-");
+        for i in 0..cno {
+            let host = first_host + (i % hosts_needed) as usize;
+            let parked = rng.gen_bool(landscape.parked_share.clamp(0.0, 1.0));
+            self.domains.push(Domain {
+                name: format!("{provider_name}-{}-{i}.{}", segment.label, tld(rng)),
+                lists: DomainLists {
+                    cno: true,
+                    ..DomainLists::default()
+                },
+                host: Some(host),
+                parking_ns: parked.then(|| "ns1.sedoparking.com".to_string()),
+            });
+        }
+        for i in 0..top {
+            let host = first_host + ((cno + i) % hosts_needed) as usize;
+            self.domains.push(Domain {
+                name: format!("top-{provider_name}-{}-{i}.example", segment.label),
+                lists: toplist_membership(rng),
+                host: Some(host),
+                parking_ns: None,
+            });
+        }
+    }
+
+    fn add_background(
+        &mut self,
+        provider_idx: usize,
+        v4_octet: u8,
+        v6_index: u16,
+        background: &BackgroundSpec,
+        rng: &mut StdRng,
+        config: &UniverseConfig,
+    ) {
+        let cno = config.scaled(background.cno_domains);
+        let top = config.scaled(background.toplist_domains);
+        let total = cno + top;
+        if total == 0 {
+            return;
+        }
+        let hosts_needed =
+            ((total + u64::from(background.domains_per_ip) - 1) / u64::from(background.domains_per_ip)).max(1);
+        let first_host = self.hosts.len();
+        let asn = self.providers[provider_idx].asn;
+        for _ in 0..hosts_needed {
+            let id = self.hosts.len();
+            let host_no = id as u32;
+            let has_v6 = rng.gen_bool(background.ipv6_share.clamp(0.0, 1.0));
+            self.hosts.push(Host {
+                id,
+                ipv4: Ipv4Addr::new(
+                    v4_octet,
+                    ((host_no >> 16) & 0xff) as u8,
+                    ((host_no >> 8) & 0xff) as u8,
+                    (host_no & 0xff) as u8,
+                ),
+                ipv6: has_v6.then(|| {
+                    Ipv6Addr::new(0x2001, 0x0db8, v6_index, 0, 0, 0, (host_no >> 16) as u16, host_no as u16)
+                }),
+                provider: provider_idx,
+                asn,
+                stack: None,
+                segment: "tcp-only",
+                uses_ecn: false,
+                upgrade_quantile: rng.gen::<f64>(),
+                availability_quantile: rng.gen::<f64>(),
+                suppress_server_header: false,
+                transit_v4: TransitProfile::Clean,
+                transit_v6: TransitProfile::Clean,
+                tcp_profile: background.tcp,
+            });
+        }
+        for i in 0..cno {
+            let host = first_host + (i % hosts_needed) as usize;
+            self.domains.push(Domain {
+                name: format!("site-{v4_octet}-{i}.{}", tld(rng)),
+                lists: DomainLists {
+                    cno: true,
+                    ..DomainLists::default()
+                },
+                host: Some(host),
+                parking_ns: None,
+            });
+        }
+        for i in 0..top {
+            let host = first_host + ((cno + i) % hosts_needed) as usize;
+            self.domains.push(Domain {
+                name: format!("top-site-{v4_octet}-{i}.example"),
+                lists: toplist_membership(rng),
+                host: Some(host),
+                parking_ns: None,
+            });
+        }
+    }
+
+    /// The AS organisation database.
+    pub fn as_org(&self) -> &AsOrgDb {
+        &self.as_org
+    }
+
+    /// Iterator over domains on the `.com/.net/.org` zone lists.
+    pub fn cno_domains(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.iter().filter(|d| d.lists.cno)
+    }
+
+    /// Iterator over toplist domains.
+    pub fn toplist_domains(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.iter().filter(|d| d.lists.toplist())
+    }
+
+    /// Number of hosts that answer QUIC at `date`.
+    pub fn quic_host_count(&self, date: SnapshotDate) -> usize {
+        self.hosts.iter().filter(|h| h.quic_available_at(date)).count()
+    }
+}
+
+fn tld(rng: &mut StdRng) -> &'static str {
+    match rng.gen_range(0..10) {
+        0..=5 => "com",
+        6..=7 => "net",
+        _ => "org",
+    }
+}
+
+fn toplist_membership(rng: &mut StdRng) -> DomainLists {
+    let mut lists = DomainLists {
+        cno: false,
+        alexa: rng.gen_bool(0.45),
+        umbrella: rng.gen_bool(0.4),
+        majestic: rng.gen_bool(0.35),
+        tranco: rng.gen_bool(0.5),
+    };
+    if !lists.toplist() {
+        lists.tranco = true;
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> Universe {
+        Universe::generate(&UniverseConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Universe::generate(&UniverseConfig::default());
+        let b = Universe::generate(&UniverseConfig::default());
+        assert_eq!(a.domains.len(), b.domains.len());
+        assert_eq!(a.hosts.len(), b.hosts.len());
+        assert_eq!(a.domains[100].name, b.domains[100].name);
+        assert_eq!(a.hosts[10].ipv4, b.hosts[10].ipv4);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Universe::generate(&UniverseConfig::default());
+        let b = Universe::generate(&UniverseConfig {
+            seed: 43,
+            ..UniverseConfig::default()
+        });
+        // Counts stay the same (calibration) but host attributes vary.
+        assert_eq!(a.domains.len(), b.domains.len());
+        let differs = a
+            .hosts
+            .iter()
+            .zip(&b.hosts)
+            .any(|(x, y)| x.upgrade_quantile != y.upgrade_quantile);
+        assert!(differs);
+    }
+
+    #[test]
+    fn population_sizes_scale_with_the_paper() {
+        let u = universe();
+        // ~183 k c/n/o domains and ~2.7 k toplist domains at 1:1000.
+        let cno = u.cno_domains().count();
+        let top = u.toplist_domains().count();
+        assert!((150_000..=210_000).contains(&cno), "cno = {cno}");
+        assert!((2_000..=3_500).contains(&top), "top = {top}");
+    }
+
+    #[test]
+    fn quic_share_matches_the_paper() {
+        let u = universe();
+        let quic_cno = u
+            .cno_domains()
+            .filter(|d| d.host.map(|h| u.hosts[h].stack.is_some()).unwrap_or(false))
+            .count() as f64;
+        let resolved_cno = u
+            .cno_domains()
+            .filter(|d| d.host.is_some())
+            .count() as f64;
+        // Paper: 17.3 M QUIC of 159.4 M resolved ≈ 10.9 %.
+        let share = quic_cno / resolved_cno;
+        assert!((0.07..=0.15).contains(&share), "share = {share}");
+    }
+
+    #[test]
+    fn hosts_serve_many_domains() {
+        let u = universe();
+        let quic_hosts = u.hosts.iter().filter(|h| h.stack.is_some()).count() as f64;
+        let quic_domains = u
+            .domains
+            .iter()
+            .filter(|d| d.host.map(|h| u.hosts[h].stack.is_some()).unwrap_or(false))
+            .count() as f64;
+        let ratio = quic_domains / quic_hosts;
+        // Paper: 17.3 M domains over 232.75 k IPs ≈ 74 domains per IP.
+        assert!(ratio > 20.0 && ratio < 200.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn availability_grows_over_time() {
+        let u = universe();
+        let early = u.quic_host_count(SnapshotDate::JUN_2022);
+        let late = u.quic_host_count(SnapshotDate::APR_2023);
+        assert!(early < late);
+        assert!(early as f64 > 0.7 * late as f64);
+    }
+
+    #[test]
+    fn ipv6_coverage_is_partial_and_cloudflare_heavy() {
+        let u = universe();
+        let v6_hosts = u.hosts.iter().filter(|h| h.ipv6.is_some() && h.stack.is_some()).count();
+        assert!(v6_hosts > 0);
+        let cloudflare_idx = u.providers.iter().position(|p| p.name == "Cloudflare").unwrap();
+        let cf_v6_domains = u
+            .domains
+            .iter()
+            .filter(|d| {
+                d.host
+                    .map(|h| u.hosts[h].provider == cloudflare_idx && u.hosts[h].ipv6.is_some())
+                    .unwrap_or(false)
+            })
+            .count();
+        let all_v6_quic_domains = u
+            .domains
+            .iter()
+            .filter(|d| {
+                d.host
+                    .map(|h| u.hosts[h].stack.is_some() && u.hosts[h].ipv6.is_some())
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(cf_v6_domains * 2 > all_v6_quic_domains, "Cloudflare should dominate IPv6");
+    }
+
+    #[test]
+    fn prefixes_resolve_back_to_their_org() {
+        let u = universe();
+        for host in u.hosts.iter().take(200) {
+            let asn = u.as_org.asn_of_ip(IpAddr::V4(host.ipv4));
+            assert_eq!(asn, Some(host.asn), "host {:?}", host.ipv4);
+        }
+    }
+
+    #[test]
+    fn paths_reflect_the_calibrated_transit() {
+        let u = universe();
+        let cleared_host = u
+            .hosts
+            .iter()
+            .find(|h| matches!(h.transit_v4, TransitProfile::Clearing { .. }))
+            .expect("some host behind a clearing path");
+        let path = cleared_host.duplex_path_from(Asn::DFN, false);
+        assert!(path.forward.has_ecn_impairment());
+        assert!(!path.reverse.has_ecn_impairment());
+    }
+
+    #[test]
+    fn tiny_universe_is_fast_and_nonempty() {
+        let u = Universe::generate(&UniverseConfig::tiny());
+        assert!(u.domains.len() > 1_000);
+        assert!(u.hosts.iter().any(|h| h.stack.is_some()));
+    }
+}

@@ -1,0 +1,33 @@
+//! Longitudinal view (paper §5.3): monthly snapshots from June 2022 to April
+//! 2023, regenerating Figure 3 (mirroring by web server over time) and
+//! Figure 4/8 (per-domain transitions with QUIC versions).
+//!
+//! Run with: `cargo run --release --example longitudinal`
+
+use qem_core::reports::{figure3, figure4};
+use qem_core::{Campaign, CampaignOptions};
+use qem_web::{SnapshotDate, Universe, UniverseConfig};
+
+fn main() {
+    let universe = Universe::generate(&UniverseConfig::default());
+    let campaign = Campaign::new(&universe);
+
+    println!("running monthly snapshots 2022-06 .. 2023-04 ...\n");
+    let snapshots = campaign.run_longitudinal(
+        &SnapshotDate::longitudinal_range(),
+        &CampaignOptions::paper_default(),
+    );
+    println!("{}", figure3(&universe, &snapshots));
+
+    let key_dates = [
+        SnapshotDate::JUN_2022,
+        SnapshotDate::FEB_2023,
+        SnapshotDate::APR_2023,
+    ];
+    let key_snapshots: Vec<_> = snapshots
+        .iter()
+        .filter(|s| key_dates.contains(&s.date))
+        .cloned()
+        .collect();
+    println!("{}", figure4(&universe, &key_snapshots));
+}

@@ -1,0 +1,50 @@
+//! The §6.3 comparison: probe every com/net/org host in parallel via TCP and
+//! QUIC while replacing ECT(0) with CE, and regenerate Figure 6.
+//!
+//! Run with: `cargo run --release --example tcp_vs_quic`
+
+use qem_core::reports::figure6;
+use qem_core::{Campaign, CampaignOptions};
+use qem_web::{Universe, UniverseConfig};
+
+fn main() {
+    let universe = Universe::generate(&UniverseConfig::default());
+    let campaign = Campaign::new(&universe);
+    println!("running CE-probing campaign (week 20/2023) ...\n");
+    let result = campaign.run_main(&CampaignOptions::ce_probing(), false);
+    let fig = figure6(&universe, &result.v4);
+    println!("{fig}");
+
+    let tcp_mirror: u64 = fig
+        .tcp
+        .iter()
+        .filter(|(c, _)| {
+            matches!(
+                c,
+                qem_core::reports::TcpCategory::CeMirrorNoUseNegotiated
+                    | qem_core::reports::TcpCategory::CeMirrorUseNegotiated
+            )
+        })
+        .map(|(_, v)| v)
+        .sum();
+    let tcp_total: u64 = fig.tcp.values().sum();
+    let quic_mirror: u64 = fig
+        .quic
+        .iter()
+        .filter(|(c, _)| {
+            matches!(
+                c,
+                qem_core::reports::QuicCeCategory::CeMirrorNoUse
+                    | qem_core::reports::QuicCeCategory::CeMirrorUse
+            )
+        })
+        .map(|(_, v)| v)
+        .sum();
+    let quic_total: u64 = fig.quic.values().sum();
+    println!(
+        "TCP mirrors CE for {:.1} % of TCP-reachable domains; QUIC mirrors CE for {:.1} % of QUIC-reachable domains",
+        100.0 * tcp_mirror as f64 / tcp_total.max(1) as f64,
+        100.0 * quic_mirror as f64 / quic_total.max(1) as f64,
+    );
+    println!("(paper: ~70 % via TCP vs. <10 % via QUIC)");
+}

@@ -1,0 +1,14 @@
+//! Facade crate for the reproduction of "ECN with QUIC: Challenges in the
+//! Wild" (IMC '23).
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single package.  See `README.md` for a tour and
+//! `DESIGN.md` for the mapping from paper sections to modules.
+
+pub use qem_core as core;
+pub use qem_netsim as netsim;
+pub use qem_packet as packet;
+pub use qem_quic as quic;
+pub use qem_tcp as tcp;
+pub use qem_tracebox as tracebox;
+pub use qem_web as web;

@@ -1,0 +1,104 @@
+//! Cross-crate tests for the network-layer analysis: Table 4 / Table 7 style
+//! attribution of clearing and re-marking to the responsible transit AS.
+
+use qem_core::reports::{table4, table7};
+use qem_core::{Campaign, CampaignOptions};
+use qem_netsim::Asn;
+use qem_tracebox::{analyze_trace, trace_path, PathVerdict, TraceConfig};
+use qem_web::{Universe, UniverseConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::IpAddr;
+
+#[test]
+fn clearing_is_concentrated_on_the_expected_providers() {
+    let universe = Universe::generate(&UniverseConfig::default());
+    let campaign = Campaign::new(&universe);
+    let result = campaign.run_main(&CampaignOptions::paper_default(), false);
+    let t4 = table4(&universe, &result.v4);
+
+    // Paper §6.1: Server Central and A2 Hosting are (almost) fully behind
+    // cleared paths, Cloudflare and Google are not affected at all.
+    let a2 = t4.row("A2 Hosting").expect("A2 Hosting row");
+    assert!(a2.cleared > 0);
+    let cloudflare = t4.row("Cloudflare").expect("Cloudflare row");
+    assert_eq!(cloudflare.cleared, 0);
+    assert!(cloudflare.not_cleared > 0);
+    let google = t4.row("Google").expect("Google row");
+    assert_eq!(google.cleared, 0);
+
+    // Overall, cleared domains are a small fraction (~2 %) of the
+    // non-mirroring population.
+    let (cleared, not_tested, not_cleared) = t4.totals;
+    let total = cleared + not_tested + not_cleared;
+    assert!(cleared > 0);
+    assert!((cleared as f64) < 0.05 * total as f64);
+    // With per-domain sampling, heavy-hitter IPs are almost always tested, so
+    // the untested share stays small (paper: 72 k of 16.3 M).
+    assert!((not_tested as f64) < 0.2 * total as f64);
+}
+
+#[test]
+fn validation_failures_split_into_path_and_stack_causes() {
+    let universe = Universe::generate(&UniverseConfig::default());
+    let campaign = Campaign::new(&universe);
+    let result = campaign.run_main(&CampaignOptions::paper_default(), false);
+    let t7 = table7(&universe, &result.v4);
+
+    // Re-marking failures are dominated by paths that visibly re-mark
+    // ECT(0) → ECT(1); undercount failures show no path change at all
+    // (they are a stack bug) — the core claim of §7.3.
+    let remark_traced = t7.remarking.remarked_to_ect1.domains
+        + t7.remarking.cleared_to_not_ect.domains
+        + t7.remarking.unchanged_ect0.domains;
+    assert!(remark_traced > 0);
+    assert!(
+        t7.remarking.remarked_to_ect1.domains * 2 > remark_traced,
+        "most traced re-marking domains must show the path rewrite"
+    );
+    let undercount_traced = t7.undercount.remarked_to_ect1.domains
+        + t7.undercount.cleared_to_not_ect.domains
+        + t7.undercount.unchanged_ect0.domains;
+    assert!(undercount_traced > 0);
+    assert!(
+        t7.undercount.unchanged_ect0.domains * 2 > undercount_traced,
+        "undercounting must not be attributable to the network"
+    );
+}
+
+#[test]
+fn every_observed_impairment_points_at_arelion() {
+    let universe = Universe::generate(&UniverseConfig::default());
+    let source: IpAddr = "192.0.2.10".parse().unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut attributed = 0;
+    for host in universe
+        .hosts
+        .iter()
+        .filter(|h| h.stack.is_some())
+        .take(400)
+    {
+        let path = host.duplex_path_from(Asn::DFN, false);
+        let trace = trace_path(
+            &path.forward,
+            source,
+            IpAddr::V4(host.ipv4),
+            &TraceConfig::default(),
+            &mut rng,
+        );
+        let analysis = analyze_trace(&trace, &|ip| universe.as_org.asn_of_ip(ip));
+        match analysis.verdict {
+            PathVerdict::Cleared | PathVerdict::RemarkedToEct1 => {
+                attributed += 1;
+                assert!(
+                    analysis.involved_asns().contains(&Asn::ARELION),
+                    "impairment on {} not attributed to AS1299",
+                    host.ipv4
+                );
+            }
+            PathVerdict::NoChange | PathVerdict::Untested => {}
+            PathVerdict::CeMarked | PathVerdict::RemarkedToEct0 => {}
+        }
+    }
+    assert!(attributed > 0, "the sample must contain impaired paths");
+}
