@@ -1,6 +1,7 @@
 //! Campaign orchestration: main-vantage-point snapshots, longitudinal series,
 //! the CE-probing comparison run and the distributed cloud measurement.
 
+use crate::executor::ShardedExecutor;
 use crate::observation::{DomainRecord, HostMeasurement, MirrorUse};
 use crate::scanner::{ProbeMode, ScanOptions, Scanner};
 use crate::vantage::VantagePoint;
@@ -17,7 +18,11 @@ pub struct CampaignOptions {
     pub probe: ProbeMode,
     /// Tracebox sampling probability for abnormal hosts.
     pub trace_sample_probability: f64,
-    /// Worker threads per scan.
+    /// Worker-thread budget; `0` means one worker per available core.
+    ///
+    /// Single-vantage runs give the whole budget to each scan; the cloud
+    /// campaign spends it on fleet-level fan-out first and divides the rest
+    /// among the per-vantage scans.  Results never depend on the value.
     pub workers: usize,
     /// Seed.
     pub seed: u64,
@@ -25,12 +30,16 @@ pub struct CampaignOptions {
 
 impl CampaignOptions {
     /// The week-15/2023 main measurement configuration.
+    ///
+    /// Scans fan out across every available core (`workers == 0`); thanks to
+    /// the scanner's per-host RNG derivation the results are identical to a
+    /// single-threaded run.
     pub fn paper_default() -> Self {
         CampaignOptions {
             date: SnapshotDate::APR_2023,
             probe: ProbeMode::Ect0,
             trace_sample_probability: 0.2,
-            workers: 4,
+            workers: 0,
             seed: 0x1299,
         }
     }
@@ -214,34 +223,48 @@ impl<'a> Campaign<'a> {
             })
             .unwrap_or_default();
 
-        VantagePoint::cloud_fleet()
-            .into_iter()
-            .map(|vantage| {
-                let scanner_v4 =
-                    Scanner::new(self.universe, vantage.clone(), options.scan_options(false));
-                let hosts_v4 = scanner_v4.scan_hosts(&v4_targets);
-                let snap_v4 = SnapshotMeasurement {
+        // Fan out across the fleet itself: every vantage point is an
+        // independent measurement, so the executor shards over vantages and
+        // any worker budget beyond the fleet size is divided among the
+        // per-vantage scans.  Per-host determinism makes this reshuffling
+        // invisible in the results.
+        let fleet = VantagePoint::cloud_fleet();
+        let executor = ShardedExecutor::new(options.workers).with_batch_size(1);
+        let per_vantage_options = CampaignOptions {
+            workers: (executor.workers() / fleet.len()).max(1),
+            ..*options
+        };
+        executor.run(&fleet, |vantage| {
+            let scanner_v4 = Scanner::new(
+                self.universe,
+                vantage.clone(),
+                per_vantage_options.scan_options(false),
+            );
+            let hosts_v4 = scanner_v4.scan_hosts(&v4_targets);
+            let snap_v4 = SnapshotMeasurement {
+                date: options.date,
+                ipv6: false,
+                vantage: vantage.clone(),
+                hosts: hosts_v4.into_iter().map(|m| (m.host_id, m)).collect(),
+            };
+            let snap_v6 = if v6_targets.is_empty() {
+                None
+            } else {
+                let scanner_v6 = Scanner::new(
+                    self.universe,
+                    vantage.clone(),
+                    per_vantage_options.scan_options(true),
+                );
+                let hosts_v6 = scanner_v6.scan_hosts(&v6_targets);
+                Some(SnapshotMeasurement {
                     date: options.date,
-                    ipv6: false,
+                    ipv6: true,
                     vantage: vantage.clone(),
-                    hosts: hosts_v4.into_iter().map(|m| (m.host_id, m)).collect(),
-                };
-                let snap_v6 = if v6_targets.is_empty() {
-                    None
-                } else {
-                    let scanner_v6 =
-                        Scanner::new(self.universe, vantage.clone(), options.scan_options(true));
-                    let hosts_v6 = scanner_v6.scan_hosts(&v6_targets);
-                    Some(SnapshotMeasurement {
-                        date: options.date,
-                        ipv6: true,
-                        vantage: vantage.clone(),
-                        hosts: hosts_v6.into_iter().map(|m| (m.host_id, m)).collect(),
-                    })
-                };
-                (vantage, snap_v4, snap_v6)
-            })
-            .collect()
+                    hosts: hosts_v6.into_iter().map(|m| (m.host_id, m)).collect(),
+                })
+            };
+            (vantage.clone(), snap_v4, snap_v6)
+        })
     }
 }
 
@@ -322,6 +345,55 @@ mod tests {
         // recovery by April 2023.
         assert!(mirroring_domains[1] < mirroring_domains[0]);
         assert!(mirroring_domains[2] > mirroring_domains[0]);
+    }
+
+    #[test]
+    fn ce_probing_flips_the_probe_codepoint_on_quic_and_tcp() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let ect0_run = campaign.run_main(&CampaignOptions::paper_default(), false);
+        let ce_run = campaign.run_main(&CampaignOptions::ce_probing(), false);
+
+        // QUIC path: the client-side sent counters are ground truth for what
+        // the probes carried.  Under ForceCe every marked packet is CE and
+        // none is ECT(0); under the standard methodology it is the opposite.
+        let quic_sent = |result: &CampaignResult| {
+            let mut ect0 = 0u64;
+            let mut ce = 0u64;
+            for m in result.v4.hosts.values() {
+                if let Some(q) = &m.quic {
+                    ect0 += q.sent_counts.ect0;
+                    ce += q.sent_counts.ce;
+                }
+            }
+            (ect0, ce)
+        };
+        let (ect0_sent, ce_sent) = quic_sent(&ce_run);
+        assert!(ce_sent > 0, "ForceCe must send CE-marked QUIC packets");
+        assert_eq!(ect0_sent, 0, "ForceCe must not send ECT(0) on QUIC");
+        let (ect0_sent, ce_sent) = quic_sent(&ect0_run);
+        assert!(ect0_sent > 0);
+        assert_eq!(ce_sent, 0, "the standard methodology never sends CE");
+
+        // TCP path: no router policy ever *creates* ECT(0), so segments
+        // arriving at servers with ECT(0) prove the client probed with it —
+        // and their absence under ForceCe proves the flip.
+        let tcp_observed = |result: &CampaignResult| {
+            let mut ect0 = 0u64;
+            let mut ce = 0u64;
+            for m in result.v4.hosts.values() {
+                if let Some(t) = &m.tcp {
+                    ect0 += t.server_observed_ecn.ect0;
+                    ce += t.server_observed_ecn.ce;
+                }
+            }
+            (ect0, ce)
+        };
+        let (ect0_seen, ce_seen) = tcp_observed(&ce_run);
+        assert!(ce_seen > 0, "ForceCe must reach servers with CE over TCP");
+        assert_eq!(ect0_seen, 0, "ForceCe must not probe TCP with ECT(0)");
+        let (ect0_seen, _) = tcp_observed(&ect0_run);
+        assert!(ect0_seen > 0);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Sharded, batch-dequeuing executor for embarrassingly-parallel measurement
+//! work.
+//!
+//! The scanner's original worker loop handed hosts to threads one id at a
+//! time over a channel, which serialises on the channel lock once per host.
+//! This executor instead shards the input into contiguous batches and lets
+//! workers *dequeue whole batches*: the per-item synchronisation cost is
+//! amortised over [`ShardedExecutor::batch_size`] items, so throughput scales
+//! with cores even when a single measurement is cheap.
+//!
+//! Determinism contract: the executor only controls *scheduling*.  As long
+//! as the supplied closure is a pure function of the item (the scanner
+//! derives each host's RNG from `seed × host id`), the returned vector is
+//! bit-identical for every worker count — results are reassembled in input
+//! order, not completion order.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// A sharded batch executor with a fixed worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedExecutor {
+    workers: usize,
+    batch_size: usize,
+}
+
+/// Work below this size is run inline: thread startup would dominate.
+const SEQUENTIAL_CUTOFF: usize = 32;
+
+/// Upper bound on the batch size picked by [`ShardedExecutor::new`].
+const MAX_BATCH: usize = 256;
+
+impl ShardedExecutor {
+    /// Create an executor.  `workers == 0` means "one worker per available
+    /// core"; any other value is used as-is.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        ShardedExecutor {
+            workers,
+            batch_size: 0,
+        }
+    }
+
+    /// Override the automatic batch size (values are clamped to ≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The batch size used for `n` items.
+    ///
+    /// Aims for ~8 batches per worker so stragglers rebalance, bounded by
+    /// [`MAX_BATCH`] so the result channel never holds huge payloads.
+    pub fn batch_size(&self, n: usize) -> usize {
+        if self.batch_size > 0 {
+            return self.batch_size;
+        }
+        (n / (self.workers * 8).max(1)).clamp(1, MAX_BATCH)
+    }
+
+    /// Apply `work` to every item, returning outputs in input order.
+    ///
+    /// The output is identical to `items.iter().map(work).collect()` for any
+    /// worker count, provided `work` is a pure function of its argument.
+    pub fn run<I, T, F>(&self, items: &[I], work: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        // An explicit batch size signals coarse-grained items (e.g. one whole
+        // vantage-point scan each); only auto-batched work gets the inline
+        // shortcut for small inputs.
+        let run_inline =
+            self.workers <= 1 || (self.batch_size == 0 && items.len() < SEQUENTIAL_CUTOFF);
+        if run_inline {
+            return items.iter().map(work).collect();
+        }
+
+        let batch = self.batch_size(items.len());
+        let shard_count = items.len().div_ceil(batch);
+        // Queue every shard up front; workers drain the queue batch-by-batch,
+        // so a worker stuck on an expensive shard simply claims fewer shards.
+        let (shard_tx, shard_rx) = channel::unbounded::<(usize, usize, usize)>();
+        for shard in 0..shard_count {
+            let start = shard * batch;
+            let end = (start + batch).min(items.len());
+            shard_tx.send((shard, start, end)).expect("queue shards");
+        }
+        drop(shard_tx);
+
+        let (result_tx, result_rx) = channel::unbounded::<(usize, Vec<T>)>();
+        let work = &work;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(shard_count) {
+                let shard_rx = shard_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((shard, start, end)) = shard_rx.recv() {
+                        let outputs: Vec<T> = items[start..end].iter().map(work).collect();
+                        if result_tx.send((shard, outputs)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+
+        // Reassemble in shard order: completion order is scheduling noise.
+        let mut shards: Vec<Option<Vec<T>>> = (0..shard_count).map(|_| None).collect();
+        for (shard, outputs) in result_rx.iter() {
+            shards[shard] = Some(outputs);
+        }
+        shards
+            .into_iter()
+            .flat_map(|s| s.expect("every shard completes"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_workers_resolves_to_available_parallelism() {
+        assert!(ShardedExecutor::new(0).workers() >= 1);
+        assert_eq!(ShardedExecutor::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn output_order_matches_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..1_000).rev().collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 4, 8, 16] {
+            let got = ShardedExecutor::new(workers).run(&items, |&x| x * 3 + 1);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline_without_threads() {
+        let items: Vec<usize> = (0..SEQUENTIAL_CUTOFF - 1).collect();
+        let calls = AtomicUsize::new(0);
+        let got = ShardedExecutor::new(8).run(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(got, items);
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let calls = AtomicUsize::new(0);
+        let got = ShardedExecutor::new(7).with_batch_size(13).run(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn automatic_batch_size_is_bounded() {
+        let ex = ShardedExecutor::new(4);
+        assert_eq!(ex.batch_size(0), 1);
+        assert!(ex.batch_size(100) >= 1);
+        assert!(ex.batch_size(10_000_000) <= MAX_BATCH);
+        assert_eq!(ex.with_batch_size(5).batch_size(10_000), 5);
+    }
+}

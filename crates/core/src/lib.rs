@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod executor;
 pub mod observation;
 pub mod reports;
 pub mod scanner;
 pub mod vantage;
 
 pub use campaign::{Campaign, CampaignOptions, CampaignResult, SnapshotMeasurement};
+pub use executor::ShardedExecutor;
 pub use observation::{DomainRecord, EcnClass, HostMeasurement, MirrorUse};
 pub use scanner::{ScanOptions, Scanner};
 pub use vantage::{CloudProvider, VantagePoint};

@@ -236,14 +236,14 @@ fn provider_table(
     // paper's tables do.
     let mut keep: HashSet<String> = ranked.iter().take(listed).map(|(o, _)| o.clone()).collect();
     let mut by_mirroring = ranked.clone();
-    by_mirroring.sort_by(|a, b| b.1.mirroring.cmp(&a.1.mirroring));
+    by_mirroring.sort_by_key(|entry| std::cmp::Reverse(entry.1.mirroring));
     for (org, acc) in by_mirroring.iter().take(5) {
         if acc.mirroring > 0 {
             keep.insert(org.clone());
         }
     }
     let mut by_use = ranked.clone();
-    by_use.sort_by(|a, b| b.1.uses.cmp(&a.1.uses));
+    by_use.sort_by_key(|entry| std::cmp::Reverse(entry.1.uses));
     for (org, acc) in by_use.iter().take(5) {
         if acc.uses > 0 {
             keep.insert(org.clone());

@@ -2,13 +2,14 @@
 //! (HTTP/2 / HTTP/1.1), records ECN observations and, for abnormal hosts,
 //! follows up with a tracebox measurement.
 //!
-//! Hosts are scanned in parallel over a crossbeam work queue.  Each host gets
-//! its own deterministic RNG derived from the scan seed and the host id, so a
-//! scan produces identical results regardless of worker count or scheduling.
+//! Hosts are scanned in parallel by the sharded batch executor
+//! ([`crate::executor::ShardedExecutor`]).  Each host gets its own
+//! deterministic RNG derived from the scan seed and the host id, so a scan
+//! produces identical results regardless of worker count or scheduling.
 
+use crate::executor::ShardedExecutor;
 use crate::observation::{EcnClass, HostMeasurement};
 use crate::vantage::VantagePoint;
-use crossbeam::channel;
 use qem_netsim::{build_duplex_path, Asn, DuplexPath, TransitProfile};
 use qem_quic::behavior::EcnMirroringBehavior;
 use qem_quic::{run_connection, ClientConfig, DriverConfig, EcnConfig};
@@ -40,7 +41,7 @@ pub struct ScanOptions {
     pub probe: ProbeMode,
     /// Probability that an abnormal host is traced (the paper samples 20 %).
     pub trace_sample_probability: f64,
-    /// Worker threads.
+    /// Worker threads; `0` means one worker per available core.
     pub workers: usize,
     /// Seed for all per-host randomness.
     pub seed: u64,
@@ -48,13 +49,17 @@ pub struct ScanOptions {
 
 impl ScanOptions {
     /// The paper's main-vantage-point configuration for a given date.
+    ///
+    /// `workers == 0` fans the scan out across every available core; the
+    /// per-host RNG derivation keeps the results identical to a
+    /// single-threaded run.
     pub fn paper_default(date: SnapshotDate) -> Self {
         ScanOptions {
             date,
             ipv6: false,
             probe: ProbeMode::Ect0,
             trace_sample_probability: 0.2,
-            workers: 4,
+            workers: 0,
             seed: 0x5eed,
         }
     }
@@ -114,37 +119,13 @@ impl<'a> Scanner<'a> {
     }
 
     /// Scan a specific set of hosts in parallel.
+    ///
+    /// Results are sorted by host id and — because every per-host RNG is a
+    /// pure function of `seed × host id` — bit-identical for any worker
+    /// count.
     pub fn scan_hosts(&self, host_ids: &[usize]) -> Vec<HostMeasurement> {
-        let workers = self.options.workers.max(1);
-        if workers == 1 || host_ids.len() < 32 {
-            let mut out: Vec<HostMeasurement> =
-                host_ids.iter().map(|&id| self.measure_host(id)).collect();
-            out.sort_by_key(|m| m.host_id);
-            return out;
-        }
-        let (job_tx, job_rx) = channel::unbounded::<usize>();
-        let (result_tx, result_rx) = channel::unbounded::<HostMeasurement>();
-        for &id in host_ids {
-            job_tx.send(id).expect("queue jobs");
-        }
-        drop(job_tx);
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                let job_rx = job_rx.clone();
-                let result_tx = result_tx.clone();
-                scope.spawn(move |_| {
-                    while let Ok(id) = job_rx.recv() {
-                        let measurement = self.measure_host(id);
-                        if result_tx.send(measurement).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(result_tx);
-        })
-        .expect("scanner worker panicked");
-        let mut out: Vec<HostMeasurement> = result_rx.iter().collect();
+        let executor = ShardedExecutor::new(self.options.workers);
+        let mut out = executor.run(host_ids, |&id| self.measure_host(id));
         out.sort_by_key(|m| m.host_id);
         out
     }
@@ -259,15 +240,17 @@ impl<'a> Scanner<'a> {
         if !v6 {
             let quirks = &self.vantage.quirks;
             match transit {
-                TransitProfile::Clean if quirks.extra_remark_probability > 0.0 => {
-                    if rng.gen_bool(quirks.extra_remark_probability.clamp(0.0, 1.0)) {
-                        transit = TransitProfile::Remarking { asn: Asn::ARELION };
-                    }
+                TransitProfile::Clean
+                    if quirks.extra_remark_probability > 0.0
+                        && rng.gen_bool(quirks.extra_remark_probability.clamp(0.0, 1.0)) =>
+                {
+                    transit = TransitProfile::Remarking { asn: Asn::ARELION };
                 }
-                TransitProfile::Remarking { .. } if quirks.remark_suppression_probability > 0.0 => {
-                    if rng.gen_bool(quirks.remark_suppression_probability.clamp(0.0, 1.0)) {
-                        transit = TransitProfile::Clean;
-                    }
+                TransitProfile::Remarking { .. }
+                    if quirks.remark_suppression_probability > 0.0
+                        && rng.gen_bool(quirks.remark_suppression_probability.clamp(0.0, 1.0)) =>
+                {
+                    transit = TransitProfile::Clean;
                 }
                 _ => {}
             }
@@ -335,16 +318,15 @@ mod tests {
             },
         )
         .scan_hosts(&quic_hosts);
-        let parallel = Scanner::new(
-            &universe,
-            VantagePoint::main(),
-            ScanOptions {
-                workers: 4,
-                ..options
-            },
-        )
-        .scan_hosts(&quic_hosts);
-        assert_eq!(single, parallel);
+        for workers in [4, 8] {
+            let parallel = Scanner::new(
+                &universe,
+                VantagePoint::main(),
+                ScanOptions { workers, ..options },
+            )
+            .scan_hosts(&quic_hosts);
+            assert_eq!(single, parallel, "workers={workers}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// A span of virtual time with microsecond granularity.
 #[derive(
@@ -48,8 +48,13 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
-    /// Multiply by an integer factor.
-    pub fn mul(self, factor: u64) -> SimDuration {
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    /// Multiply by an integer factor (saturating).
+    fn mul(self, factor: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(factor))
     }
 }
@@ -199,6 +204,6 @@ mod tests {
         let a = SimDuration::from_millis(1);
         let b = SimDuration::from_millis(4);
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
-        assert_eq!(b.mul(3).as_millis(), 12);
+        assert_eq!((b * 3).as_millis(), 12);
     }
 }

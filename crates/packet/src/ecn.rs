@@ -13,10 +13,11 @@ use std::fmt;
 /// The numeric values are the on-the-wire bit patterns.  Note the asymmetry
 /// the paper calls out in §7.1: `ECT(1)` is `0b01` and `ECT(0)` is `0b10`,
 /// which invites implementation mix-ups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum EcnCodepoint {
     /// `00` — the transport does not support ECN; routers drop on congestion.
+    #[default]
     NotEct = 0b00,
     /// `01` — ECN-capable transport, codepoint 1.  Redefined by L4S (RFC 9331)
     /// to request low-latency (aggressive) marking.
@@ -61,12 +62,6 @@ impl EcnCodepoint {
     /// Whether the codepoint is one of the two ECT values (excluding `CE`).
     pub fn is_ect(self) -> bool {
         matches!(self, EcnCodepoint::Ect0 | EcnCodepoint::Ect1)
-    }
-}
-
-impl Default for EcnCodepoint {
-    fn default() -> Self {
-        EcnCodepoint::NotEct
     }
 }
 

@@ -355,7 +355,7 @@ impl ClientConnection {
             }
         }
         // Exponential backoff for the next PTO.
-        let backoff = self.config.pto.mul(1 << self.pto_count.min(6));
+        let backoff = self.config.pto * (1 << self.pto_count.min(6));
         self.pto_deadline = Some(now + backoff);
     }
 

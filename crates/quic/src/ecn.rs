@@ -316,11 +316,11 @@ impl EcnValidator {
         // accounted for correctly.
         if self.acked_marked > 0 {
             match self.state {
-                EcnValidationState::Testing => {
-                    // keep testing until the budget is exhausted; counters are fine.
-                    if self.marked_sent_total >= self.config.testing_packets {
-                        self.state = EcnValidationState::Capable;
-                    }
+                // Keep testing until the budget is exhausted; counters are fine.
+                EcnValidationState::Testing
+                    if self.marked_sent_total >= self.config.testing_packets =>
+                {
+                    self.state = EcnValidationState::Capable;
                 }
                 EcnValidationState::Unknown => {
                     self.state = EcnValidationState::Capable;

@@ -151,14 +151,9 @@ pub fn analyze_trace(
             PathVerdict::RemarkedToEct0
         }
         Some(EcnCodepoint::Ce) if trace.sent_codepoint != EcnCodepoint::Ce => PathVerdict::CeMarked,
-        Some(_) => {
-            // Same as sent at the end, but something flapped in between.
-            if changes.is_empty() {
-                PathVerdict::NoChange
-            } else {
-                PathVerdict::NoChange
-            }
-        }
+        // Same as sent at the end: end-to-end the path is unchanged, even if
+        // something flapped in between (the flaps stay visible in `changes`).
+        Some(_) => PathVerdict::NoChange,
     };
 
     let dscp_rewritten_only = dscp_changed && changes.is_empty();

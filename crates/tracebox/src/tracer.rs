@@ -299,7 +299,7 @@ mod tests {
             .take_while(|h| h.timed_out)
             .count() as u32;
         assert_eq!(trailing_timeouts, config.max_consecutive_timeouts);
-        assert!(trace.time_spent >= config.per_hop_timeout.mul(5));
+        assert!(trace.time_spent >= config.per_hop_timeout * 5);
     }
 
     #[test]

@@ -306,7 +306,7 @@ impl Universe {
             return;
         }
         let hosts_needed =
-            ((total + u64::from(segment.domains_per_ip) - 1) / u64::from(segment.domains_per_ip)).max(1);
+            total.div_ceil(u64::from(segment.domains_per_ip)).max(1);
         let first_host = self.hosts.len();
         let asn = self.providers[provider_idx].asn;
         for h in 0..hosts_needed {
@@ -381,7 +381,7 @@ impl Universe {
             return;
         }
         let hosts_needed =
-            ((total + u64::from(background.domains_per_ip) - 1) / u64::from(background.domains_per_ip)).max(1);
+            total.div_ceil(u64::from(background.domains_per_ip)).max(1);
         let first_host = self.hosts.len();
         let asn = self.providers[provider_idx].asn;
         for _ in 0..hosts_needed {

@@ -1,0 +1,91 @@
+//! Regression tests for the scanner's central determinism promise: a scan is
+//! a pure function of `(universe, vantage, options minus workers)` — the
+//! worker count only changes how the work is scheduled, never what is
+//! measured.  The sharded executor relies on this to fan campaigns out
+//! across every core without perturbing the paper's numbers.
+
+use qem_core::{Campaign, CampaignOptions, HostMeasurement, ScanOptions, Scanner};
+use qem_core::vantage::VantagePoint;
+use qem_web::{SnapshotDate, Universe, UniverseConfig};
+
+fn universe() -> Universe {
+    Universe::generate(&UniverseConfig::tiny())
+}
+
+fn scan_with_workers(universe: &Universe, workers: usize) -> Vec<HostMeasurement> {
+    let options = ScanOptions {
+        workers,
+        ..ScanOptions::paper_default(SnapshotDate::APR_2023)
+    };
+    Scanner::new(universe, VantagePoint::main(), options).scan_all()
+}
+
+#[test]
+fn scan_results_are_identical_across_worker_counts() {
+    let universe = universe();
+    let baseline = scan_with_workers(&universe, 1);
+    assert!(!baseline.is_empty());
+    for workers in [4, 8] {
+        let scan = scan_with_workers(&universe, workers);
+        // `HostMeasurement` compares every field of every report, so this is
+        // the full byte-for-byte equivalence of the measurement sets.
+        assert_eq!(baseline, scan, "scan diverged at workers={workers}");
+    }
+}
+
+#[test]
+fn auto_worker_scan_matches_single_threaded_scan() {
+    let universe = universe();
+    // workers == 0 resolves to one worker per core — whatever this machine
+    // has, the results must not move.
+    assert_eq!(
+        scan_with_workers(&universe, 1),
+        scan_with_workers(&universe, 0)
+    );
+}
+
+#[test]
+fn campaigns_are_identical_across_worker_counts() {
+    let universe = universe();
+    let run = |workers: usize| {
+        let options = CampaignOptions {
+            workers,
+            ..CampaignOptions::paper_default()
+        };
+        Campaign::new(&universe).run_main(&options, true)
+    };
+    let baseline = run(1);
+    for workers in [4, 8] {
+        let result = run(workers);
+        assert_eq!(
+            baseline.v4.hosts, result.v4.hosts,
+            "IPv4 campaign diverged at workers={workers}"
+        );
+        assert_eq!(
+            baseline.v6.as_ref().map(|s| &s.hosts),
+            result.v6.as_ref().map(|s| &s.hosts),
+            "IPv6 campaign diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn cloud_fleet_results_are_identical_across_worker_counts() {
+    let universe = universe();
+    let campaign = Campaign::new(&universe);
+    let run = |workers: usize| {
+        let options = CampaignOptions {
+            workers,
+            ..CampaignOptions::paper_default()
+        };
+        let main = campaign.run_main(&options, false);
+        campaign.run_cloud(&main.v4, None, &options)
+    };
+    let baseline = run(1);
+    let sharded = run(8);
+    assert_eq!(baseline.len(), sharded.len());
+    for ((v_a, snap_a, _), (v_b, snap_b, _)) in baseline.iter().zip(&sharded) {
+        assert_eq!(v_a.name, v_b.name, "fleet order must be stable");
+        assert_eq!(snap_a.hosts, snap_b.hosts, "vantage {} diverged", v_a.name);
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Exposes the macro / type surface the workspace's bench targets use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `black_box`) backed by a simple
+//! wall-clock timer: each benchmark runs a warm-up pass plus `sample_size`
+//! timed iterations and prints min / mean / max.  No statistics engine, no
+//! HTML reports — enough to keep `cargo bench` meaningful offline and let
+//! the real crate slot back in without source changes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; we have none).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        budget: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {id}: no samples recorded");
+        return;
+    }
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "  {id}: min {min:?} / mean {mean:?} / max {max:?} ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, once as warm-up and then `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the two pieces the workspace uses — multi-producer/multi-consumer
+//! [`channel`]s and [`scope`]d threads — implemented over `std` primitives
+//! (`Mutex` + `Condvar`, `std::thread::scope`).  Semantics match upstream for
+//! the supported surface: cloneable senders *and* receivers, FIFO delivery to
+//! competing consumers, disconnection when the last sender (receiver) drops.
+
+pub mod channel;
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to [`scope`] closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread tied to the scope.  The closure receives the scope
+    /// (upstream crossbeam's signature) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope in which borrowing threads can be spawned; joins them all
+/// before returning.  Returns `Err` if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_propagates_results() {
+        let data = [1u64, 2, 3];
+        let sum = scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, [`strategy::Strategy`] with range / `Just` /
+//! `any` / union strategies, [`collection::vec`], [`option::of`], and the
+//! `prop_assert*` macros.  Failing cases are reported with the sampled
+//! inputs; shrinking is not implemented (failures print the raw case
+//! instead), which is acceptable for a deterministic, seeded test-suite.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run a closure body for each sampled case of a named-argument list.
+///
+/// Expansion target of [`proptest!`]; not part of the public API surface the
+/// tests use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($config:expr; $( $arg:ident in $strategy:expr ),* ; $body:block) => {{
+        let config: $crate::test_runner::ProptestConfig = $config;
+        // Deterministic seed: property tests must not flake between runs.
+        let mut __rng = $crate::test_runner::case_rng(::std::module_path!());
+        for __case in 0..config.cases {
+            $(
+                let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut __rng);
+            )*
+            // Render inputs up front: the body may consume them by value.
+            let __inputs = format!("{:?}", ($(&$arg,)*));
+            let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::std::result::Result::Ok(()) })();
+            if let ::std::result::Result::Err(err) = __result {
+                panic!(
+                    "proptest case {} failed: {}\ninputs: {}",
+                    __case, err, __inputs
+                );
+            }
+        }
+    }};
+}
+
+/// The `proptest!` block macro: declares `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!($config; $( $arg in $strategy ),* ; $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!(
+                    $crate::test_runner::ProptestConfig::default();
+                    $( $arg in $strategy ),* ;
+                    $body
+                );
+            }
+        )*
+    };
+}
+
+/// Union of equally-weighted strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::union(vec![
+            $( ::std::boxed::Box::new($strategy) ),+
+        ])
+    };
+}
+
+/// Property-test assertion: fails the case (with its inputs) instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}

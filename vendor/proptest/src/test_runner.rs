@@ -1,0 +1,67 @@
+//! Test-runner plumbing: configuration, case errors and the per-test RNG.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng as TestRngInner;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = TestRngInner;
+
+/// Derive the deterministic RNG for one `proptest!` block.
+///
+/// Seeded from the module path so distinct test modules explore different
+/// streams while every run of the same test is reproducible.
+pub fn case_rng(module_path: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in module_path.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the simulation-heavy properties
+        // fast while still exploring a meaningful slice of the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure of a single property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

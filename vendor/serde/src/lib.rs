@@ -1,0 +1,20 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace vendors the tiny slice of serde it actually exercises: the
+//! `Serialize` / `Deserialize` derive markers.  The derives (re-exported from
+//! the local `serde_derive`) expand to nothing; the traits below exist so
+//! that code written against the real serde API (`use serde::{Serialize,
+//! Deserialize};`, bounds in future generic code) keeps compiling unchanged
+//! when the genuine crate is swapped back in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

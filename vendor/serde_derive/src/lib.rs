@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The measurement pipeline only uses `#[derive(Serialize, Deserialize)]` as
+//! a marker (nothing in the workspace serialises to a concrete format yet),
+//! so the derives expand to nothing.  When the repo gains a real data-export
+//! path, these can be replaced by the upstream crate without touching any
+//! call site.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — accepted and expanded to an empty item list.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — accepted and expanded to an empty item list.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
