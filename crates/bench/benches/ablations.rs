@@ -4,7 +4,9 @@
 //!   10 / 3),
 //! * the per-IP deduplication used by the cloud workers,
 //! * the tracebox sampling probability,
-//! * the L4S interaction with ECT(0)→ECT(1) re-marking (paper §9.3).
+//! * the L4S interaction with ECT(0)→ECT(1) re-marking (paper §9.3),
+//! * the store codec (encode/decode throughput, in-memory vs store-backed
+//!   census wall time).
 //!
 //! Run with: `cargo bench -p qem-bench --bench ablations`
 
@@ -171,11 +173,84 @@ fn l4s_ablation(c: &mut Criterion) {
     let _ = EcnClass::RemarkEct1;
 }
 
+fn ablation_store_codec(c: &mut Criterion) {
+    use qem_core::SnapshotSource;
+    use qem_store::codec::{decode_block, encode_block};
+    use qem_store::CampaignStoreExt;
+    use std::time::Instant;
+
+    let universe = bench_universe();
+    let campaign = Campaign::new(&universe);
+    let options = CampaignOptions::paper_default();
+    let main = campaign.run_main(&options, false);
+
+    // Pull the measurements out in host-id order, as the writer sees them.
+    let mut hosts = Vec::with_capacity(main.v4.hosts.len());
+    main.v4.for_each_host(&mut |m| hosts.push(m.clone()));
+
+    // One timed pass outside Criterion for the headline hosts/sec numbers.
+    let start = Instant::now();
+    let block = encode_block(&hosts);
+    let encode_elapsed = start.elapsed();
+    let start = Instant::now();
+    let decoded = decode_block(&block).expect("decode bench block");
+    let decode_elapsed = start.elapsed();
+    assert_eq!(decoded.len(), hosts.len());
+    println!("--- Ablation: store codec (encode/decode throughput) ---");
+    println!(
+        "  {} hosts -> {:.1} KiB ({:.1} bytes/host)",
+        hosts.len(),
+        block.len() as f64 / 1024.0,
+        block.len() as f64 / hosts.len().max(1) as f64
+    );
+    println!(
+        "  encode: {:.0} hosts/sec, decode: {:.0} hosts/sec",
+        hosts.len() as f64 / encode_elapsed.as_secs_f64().max(1e-9),
+        hosts.len() as f64 / decode_elapsed.as_secs_f64().max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("ablation_store_codec");
+    group.sample_size(10);
+    group.bench_function("encode_block", |b| b.iter(|| black_box(encode_block(&hosts))));
+    group.bench_function("decode_block", |b| {
+        b.iter(|| black_box(decode_block(&block).expect("decode")))
+    });
+
+    // In-memory vs store-backed census wall time: the price of persistence.
+    let vantage = VantagePoint::main();
+    group.bench_function("census_in_memory", |b| {
+        b.iter(|| black_box(campaign.run_snapshot(&vantage, &options, false)))
+    });
+    // Each iteration writes a fresh directory; deleting them is filesystem
+    // housekeeping, not persistence cost, so it happens after timing.
+    let mut run = 0u32;
+    let mut dirs = Vec::new();
+    group.bench_function("census_store_backed", |b| {
+        b.iter(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "qem-bench-store-{}-{run}",
+                std::process::id()
+            ));
+            run += 1;
+            dirs.push(dir.clone());
+            let stored = campaign
+                .run_snapshot_to_store(&vantage, &options, false, &dir)
+                .expect("store census");
+            black_box(stored.recorded_host_count());
+        })
+    });
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).expect("cleanup bench store");
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_validation_budget,
     ablation_ip_dedup,
     ablation_trace_sampling,
-    l4s_ablation
+    l4s_ablation,
+    ablation_store_codec
 );
 criterion_main!(benches);

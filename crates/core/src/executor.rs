@@ -15,6 +15,7 @@
 //! order, not completion order.
 
 use crossbeam::channel;
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 
 /// A sharded batch executor with a fixed worker count.
@@ -26,6 +27,51 @@ pub struct ShardedExecutor {
 
 /// Work below this size is run inline: thread startup would dominate.
 const SEQUENTIAL_CUTOFF: usize = 32;
+
+use std::sync::{Condvar, Mutex};
+
+/// Shared flush state of one streaming run.
+struct Frontier {
+    /// Index of the next shard the sink is waiting for.
+    flushed: usize,
+    /// Set when the run is being torn down (sink panicked): throttled
+    /// workers must exit instead of waiting for the frontier to move.
+    cancelled: bool,
+}
+
+/// Wakes throttled workers with `cancelled = true` when dropped.
+///
+/// Two deployments, both about panics:
+/// * in the collector closure (`only_on_panic = false`): runs on every exit,
+///   covering a panicking *sink* — harmless on the normal path, where the
+///   workers are already gone;
+/// * in each worker (`only_on_panic = true`): a panicking *work* closure
+///   dies without sending its shard, so the frontier would never reach it
+///   and every other worker would park on the throttle forever while the
+///   collector waits for their senders — cancellation breaks that cycle and
+///   lets the scope join propagate the panic.
+struct CancelOnDrop<'a> {
+    frontier: &'a Mutex<Frontier>,
+    frontier_moved: &'a Condvar,
+    only_on_panic: bool,
+}
+
+impl Drop for CancelOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.only_on_panic && !std::thread::panicking() {
+            return;
+        }
+        // Recover from poisoning: this runs while a panic may already be
+        // unwinding, and its whole job is to unblock the join that follows.
+        let mut state = match self.frontier.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.cancelled = true;
+        drop(state);
+        self.frontier_moved.notify_all();
+    }
+}
 
 /// Upper bound on the batch size picked by [`ShardedExecutor::new`].
 const MAX_BATCH: usize = 256;
@@ -79,13 +125,40 @@ impl ShardedExecutor {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
+        let mut out = Vec::with_capacity(items.len());
+        self.run_streaming(items, work, |value| out.push(value));
+        out
+    }
+
+    /// Apply `work` to every item, delivering outputs to `sink` *in input
+    /// order* without ever materialising the full result set.
+    ///
+    /// This is the spill path campaign persistence is built on: workers hand
+    /// finished batches to the calling thread over a **bounded** channel, so
+    /// when the sink (e.g. a segment writer flushing to disk) falls behind,
+    /// workers block instead of piling results up in RAM.  The sink runs on
+    /// the calling thread; a small reorder buffer holds batches that finish
+    /// ahead of their turn.
+    ///
+    /// Calling `sink` for each output of `items.iter().map(work)` in order is
+    /// the exact sequential semantics; only the scheduling differs.
+    pub fn run_streaming<I, T, F, S>(&self, items: &[I], work: F, mut sink: S)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+        S: FnMut(T),
+    {
         // An explicit batch size signals coarse-grained items (e.g. one whole
         // vantage-point scan each); only auto-batched work gets the inline
         // shortcut for small inputs.
         let run_inline =
             self.workers <= 1 || (self.batch_size == 0 && items.len() < SEQUENTIAL_CUTOFF);
         if run_inline {
-            return items.iter().map(work).collect();
+            for item in items {
+                sink(work(item));
+            }
+            return;
         }
 
         let batch = self.batch_size(items.len());
@@ -100,14 +173,51 @@ impl ShardedExecutor {
         }
         drop(shard_tx);
 
-        let (result_tx, result_rx) = channel::unbounded::<(usize, Vec<T>)>();
+        // Two brakes keep memory bounded at O(window × batch):
+        //
+        // * the result channel is bounded, so a slow *sink* back-pressures
+        //   the workers instead of letting finished batches queue up;
+        // * workers may only compute shards within `window` of the flush
+        //   frontier, so a slow *shard* (one expensive batch while its
+        //   successors race ahead) cannot make the reorder buffer hoard the
+        //   whole result set.  The frontier shard itself is always within
+        //   the window, so the throttle can never deadlock.
+        let window = self.workers * 4;
+        let (result_tx, result_rx) = channel::bounded::<(usize, Vec<T>)>(self.workers * 2);
+        let frontier: Mutex<Frontier> = Mutex::new(Frontier {
+            flushed: 0,
+            cancelled: false,
+        });
+        let frontier_moved = std::sync::Condvar::new();
         let work = &work;
         std::thread::scope(|scope| {
             for _ in 0..self.workers.min(shard_count) {
                 let shard_rx = shard_rx.clone();
                 let result_tx = result_tx.clone();
+                let frontier = &frontier;
+                let frontier_moved = &frontier_moved;
                 scope.spawn(move || {
+                    // If `work` panics, this shard never reaches the
+                    // collector and the frontier stalls; cancel the run so
+                    // the other workers exit and the panic can propagate.
+                    let _cancel = CancelOnDrop {
+                        frontier,
+                        frontier_moved,
+                        only_on_panic: true,
+                    };
                     while let Ok((shard, start, end)) = shard_rx.recv() {
+                        {
+                            let mut state =
+                                frontier.lock().expect("frontier lock poisoned");
+                            while !state.cancelled && shard >= state.flushed + window {
+                                state = frontier_moved
+                                    .wait(state)
+                                    .expect("frontier lock poisoned");
+                            }
+                            if state.cancelled {
+                                return;
+                            }
+                        }
                         let outputs: Vec<T> = items[start..end].iter().map(work).collect();
                         if result_tx.send((shard, outputs)).is_err() {
                             break;
@@ -115,18 +225,46 @@ impl ShardedExecutor {
                     }
                 });
             }
-        });
-        drop(result_tx);
+            // Both bindings below are owned by this closure so that a panic
+            // in the sink drops them *before* the scope joins the workers:
+            // dropping the receiver errors out senders blocked on the full
+            // channel, and the guard wakes workers parked on the throttle —
+            // the panic then propagates instead of hanging the join.
+            let result_rx = result_rx;
+            drop(result_tx);
+            let _cancel = CancelOnDrop {
+                frontier: &frontier,
+                frontier_moved: &frontier_moved,
+                only_on_panic: false,
+            };
 
-        // Reassemble in shard order: completion order is scheduling noise.
-        let mut shards: Vec<Option<Vec<T>>> = (0..shard_count).map(|_| None).collect();
-        for (shard, outputs) in result_rx.iter() {
-            shards[shard] = Some(outputs);
-        }
-        shards
-            .into_iter()
-            .flat_map(|s| s.expect("every shard completes"))
-            .collect()
+            // Flush batches to the sink in shard order: completion order is
+            // scheduling noise.  Out-of-order arrivals wait in `pending`,
+            // which the claim throttle above caps at `window` entries.
+            let mut pending: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+            let mut next_shard = 0usize;
+            for (shard, outputs) in result_rx.iter() {
+                pending.insert(shard, outputs);
+                if pending.contains_key(&next_shard) {
+                    while let Some(outputs) = pending.remove(&next_shard) {
+                        for value in outputs {
+                            sink(value);
+                        }
+                        next_shard += 1;
+                    }
+                    frontier.lock().expect("frontier lock poisoned").flushed = next_shard;
+                    frontier_moved.notify_all();
+                }
+            }
+            // On the normal path every shard has flushed; after a worker
+            // panic the buffer may legitimately hold orphans — the scope
+            // join below re-raises that panic.
+            debug_assert!(
+                pending.is_empty()
+                    || frontier.lock().map(|s| s.cancelled).unwrap_or(true),
+                "every shard flushes in order"
+            );
+        });
     }
 }
 
@@ -172,6 +310,111 @@ mod tests {
             x
         });
         assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn streaming_delivers_in_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..5_000).rev().collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x ^ 0xa5).collect();
+        for workers in [1, 2, 4, 8] {
+            let mut got = Vec::new();
+            ShardedExecutor::new(workers).run_streaming(&items, |&x| x ^ 0xa5, |v| got.push(v));
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_work_closure_propagates_instead_of_deadlocking() {
+        // A worker that dies mid-shard never sends its result; the frontier
+        // would stall there and park every other worker on the throttle.
+        // The cancellation guard must break that cycle so the panic reaches
+        // the caller (regression test: this used to hang forever).
+        let items: Vec<usize> = (0..100_000).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ShardedExecutor::new(4).with_batch_size(10).run_streaming(
+                &items,
+                |&x| {
+                    assert!(x != 500, "work gives up");
+                    x
+                },
+                |_| {},
+            );
+        }));
+        assert!(result.is_err(), "the work panic must propagate");
+    }
+
+    #[test]
+    fn a_panicking_sink_propagates_instead_of_hanging_the_join() {
+        // The sink panics while workers are still producing; the run must
+        // end in that panic (observable via catch_unwind), not in a hang on
+        // the scope join with workers parked on the throttle or the full
+        // result channel.
+        let items: Vec<usize> = (0..10_000).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut seen = 0usize;
+            ShardedExecutor::new(4).with_batch_size(8).run_streaming(
+                &items,
+                |&x| x,
+                |_| {
+                    seen += 1;
+                    assert!(seen <= 64, "sink gives up");
+                },
+            );
+        }));
+        assert!(result.is_err(), "the sink panic must propagate");
+    }
+
+    #[test]
+    fn streaming_bounds_the_reorder_buffer_when_one_shard_is_slow() {
+        // Shard 0 sleeps while its successors race ahead: the claim throttle
+        // must cap how far ahead workers compute (bounded reorder buffer)
+        // without ever deadlocking the shard the flush frontier waits on.
+        let items: Vec<usize> = (0..4_000).collect();
+        let executor = ShardedExecutor::new(4).with_batch_size(10);
+        let window_items = 4 * 4 * 10; // workers × window factor × batch
+        let computed_ahead = AtomicUsize::new(0);
+        let flushed = AtomicUsize::new(0);
+        let mut got = Vec::new();
+        executor.run_streaming(
+            &items,
+            |&x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                let lead = x.saturating_sub(flushed.load(Ordering::Relaxed));
+                computed_ahead.fetch_max(lead, Ordering::Relaxed);
+                x
+            },
+            |v| {
+                flushed.store(v + 1, Ordering::Relaxed);
+                got.push(v);
+            },
+        );
+        assert_eq!(got, items);
+        // The lead can exceed the window by in-flight batches, but must stay
+        // far below "the rest of the input raced ahead".
+        let max_lead = computed_ahead.load(Ordering::Relaxed);
+        assert!(
+            max_lead <= window_items + 4 * 2 * 10,
+            "reorder window not enforced: lead {max_lead}"
+        );
+    }
+
+    #[test]
+    fn streaming_backpressures_a_slow_sink_without_losing_order() {
+        let items: Vec<usize> = (0..2_000).collect();
+        let mut got = Vec::new();
+        ShardedExecutor::new(4).with_batch_size(7).run_streaming(
+            &items,
+            |&x| x,
+            |v| {
+                if v % 512 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                got.push(v);
+            },
+        );
         assert_eq!(got, items);
     }
 

@@ -21,10 +21,12 @@ pub mod executor;
 pub mod observation;
 pub mod reports;
 pub mod scanner;
+pub mod source;
 pub mod vantage;
 
 pub use campaign::{Campaign, CampaignOptions, CampaignResult, SnapshotMeasurement};
 pub use executor::ShardedExecutor;
 pub use observation::{DomainRecord, EcnClass, HostMeasurement, MirrorUse};
 pub use scanner::{ScanOptions, Scanner};
+pub use source::{JoinedSnapshot, SnapshotSource};
 pub use vantage::{CloudProvider, VantagePoint};

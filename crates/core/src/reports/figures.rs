@@ -1,9 +1,15 @@
 //! Builders for Figures 3–8 (Figure 1 is the validation state machine itself,
 //! Figure 2 the pipeline diagram; neither carries data).
+//!
+//! Like the table builders, every figure builder is generic over
+//! [`SnapshotSource`] and gathers the per-host attributes it needs (server
+//! family, QUIC version, TCP category) in one streaming pass, so the same
+//! code renders a figure from a live campaign or from a `qem-store`
+//! directory with byte-identical output.
 
 use super::fmt_count;
-use crate::campaign::SnapshotMeasurement;
 use crate::observation::EcnClass;
+use crate::source::SnapshotSource;
 use crate::vantage::VantagePoint;
 use qem_web::{SnapshotDate, Universe};
 use serde::Serialize;
@@ -51,18 +57,22 @@ fn family_bucket(family: Option<&str>) -> String {
 }
 
 /// Build Figure 3 from a longitudinal series of IPv4 snapshots.
-pub fn figure3(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure3 {
+pub fn figure3<S: SnapshotSource>(universe: &Universe, snapshots: &[S]) -> Figure3 {
     let mut points = Vec::new();
     for snapshot in snapshots {
-        // Identify stacks without a server header via transport-parameter
-        // fingerprints of hosts that do send one (§5.3).
+        // One streaming pass: remember each host's (server family,
+        // fingerprint) pair, and build the fingerprint → family map used to
+        // identify stacks without a server header (§5.3).
         let mut fingerprint_family: HashMap<u64, String> = HashMap::new();
-        for measurement in snapshot.hosts.values() {
-            if let (Some(family), Some(fp)) = (measurement.server_family(), measurement.fingerprint())
-            {
+        let mut host_family: HashMap<usize, (Option<String>, Option<u64>)> = HashMap::new();
+        snapshot.for_each_host(&mut |m| {
+            let family = m.server_family();
+            let fp = m.fingerprint();
+            if let (Some(family), Some(fp)) = (family.clone(), fp) {
                 fingerprint_family.insert(fp, family);
             }
-        }
+            host_family.insert(m.host_id, (family, fp));
+        });
         let records = snapshot.domain_records(universe);
         let mut by_family: BTreeMap<String, u64> = BTreeMap::new();
         let mut total_quic = 0u64;
@@ -74,17 +84,17 @@ pub fn figure3(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure
             if !record.mirror_use.mirroring {
                 continue;
             }
-            let measurement = record.host_id.and_then(|h| snapshot.host(h));
-            let family = measurement.and_then(|m| {
-                m.server_family().or_else(|| {
-                    m.fingerprint()
-                        .and_then(|fp| fingerprint_family.get(&fp).cloned())
-                })
-            });
+            let family = record.host_id.and_then(|h| host_family.get(&h)).and_then(
+                |(family, fp)| {
+                    family.clone().or_else(|| {
+                        fp.and_then(|fp| fingerprint_family.get(&fp).cloned())
+                    })
+                },
+            );
             *by_family.entry(family_bucket(family.as_deref())).or_default() += 1;
         }
         points.push(Figure3Point {
-            date: snapshot.date,
+            date: snapshot.date(),
             total_quic_domains: total_quic,
             mirroring_by_family: by_family,
         });
@@ -155,9 +165,17 @@ pub struct Figure4 {
 }
 
 /// Build Figure 4 from (typically three) longitudinal snapshots.
-pub fn figure4(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure4 {
+pub fn figure4<S: SnapshotSource>(universe: &Universe, snapshots: &[S]) -> Figure4 {
     let mut per_domain_states: Vec<Vec<DomainState>> = Vec::new();
     for snapshot in snapshots {
+        // Streaming pass: the only per-host attribute the alluvial needs is
+        // the QUIC version label.
+        let mut versions: HashMap<usize, String> = HashMap::new();
+        snapshot.for_each_host(&mut |m| {
+            if let Some(report) = &m.quic {
+                versions.insert(m.host_id, report.version.label());
+            }
+        });
         let records = snapshot.domain_records(universe);
         let states: Vec<DomainState> = records
             .iter()
@@ -167,9 +185,7 @@ pub fn figure4(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure
                 }
                 let version = record
                     .host_id
-                    .and_then(|h| snapshot.host(h))
-                    .and_then(|m| m.quic.as_ref())
-                    .map(|r| r.version.label())
+                    .and_then(|h| versions.get(&h).cloned())
                     .unwrap_or_else(|| "v1".to_string());
                 if record.mirror_use.mirroring {
                     DomainState::Mirroring(version)
@@ -220,7 +236,7 @@ pub fn figure4(universe: &Universe, snapshots: &[SnapshotMeasurement]) -> Figure
         transitions.push(counts);
     }
     Figure4 {
-        dates: snapshots.iter().map(|s| s.date).collect(),
+        dates: snapshots.iter().map(|s| s.date()).collect(),
         states: states_counts,
         transitions,
     }
@@ -332,10 +348,10 @@ pub struct Figure5 {
 }
 
 /// Build Figure 5 by joining the IPv4 and IPv6 snapshots per domain.
-pub fn figure5(
+pub fn figure5<S4: SnapshotSource + ?Sized, S6: SnapshotSource + ?Sized>(
     universe: &Universe,
-    v4: &SnapshotMeasurement,
-    v6: &SnapshotMeasurement,
+    v4: &S4,
+    v6: &S6,
 ) -> Figure5 {
     let records_v4 = v4.domain_records(universe);
     let records_v6 = v6.domain_records(universe);
@@ -465,20 +481,12 @@ pub struct Figure6 {
 }
 
 /// Build Figure 6 from the CE-probing snapshot (QUIC and TCP measured in parallel).
-pub fn figure6(universe: &Universe, snapshot: &SnapshotMeasurement) -> Figure6 {
-    let records = snapshot.domain_records(universe);
-    let mut fig = Figure6 {
-        tcp: BTreeMap::new(),
-        quic: BTreeMap::new(),
-        cross: BTreeMap::new(),
-    };
-    for record in &records {
-        if !universe.domains[record.domain_idx].lists.cno {
-            continue;
-        }
-        let Some(host) = record.host_id else { continue };
-        let Some(measurement) = snapshot.host(host) else { continue };
-        let tcp_category = measurement.tcp.as_ref().filter(|t| t.connected).map(|t| {
+pub fn figure6<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> Figure6 {
+    // Streaming pass: reduce every host to its (TCP, QUIC) category pair.
+    let mut categories: HashMap<usize, (Option<TcpCategory>, Option<QuicCeCategory>)> =
+        HashMap::new();
+    snapshot.for_each_host(&mut |m| {
+        let tcp_category = m.tcp.as_ref().filter(|t| t.connected).map(|t| {
             if !t.negotiated {
                 TcpCategory::NoNegotiation
             } else {
@@ -490,19 +498,31 @@ pub fn figure6(universe: &Universe, snapshot: &SnapshotMeasurement) -> Figure6 {
                 }
             }
         });
-        let quic_category = measurement
-            .quic
-            .as_ref()
-            .filter(|q| q.connected)
-            .map(|q| {
-                let ce_mirrored = q.mirrored_counts.ce > 0;
-                match (ce_mirrored, q.server_used_ecn) {
-                    (true, false) => QuicCeCategory::CeMirrorNoUse,
-                    (true, true) => QuicCeCategory::CeMirrorUse,
-                    (false, false) => QuicCeCategory::NoCeMirrorNoUse,
-                    (false, true) => QuicCeCategory::NoCeMirrorUse,
-                }
-            });
+        let quic_category = m.quic.as_ref().filter(|q| q.connected).map(|q| {
+            let ce_mirrored = q.mirrored_counts.ce > 0;
+            match (ce_mirrored, q.server_used_ecn) {
+                (true, false) => QuicCeCategory::CeMirrorNoUse,
+                (true, true) => QuicCeCategory::CeMirrorUse,
+                (false, false) => QuicCeCategory::NoCeMirrorNoUse,
+                (false, true) => QuicCeCategory::NoCeMirrorUse,
+            }
+        });
+        categories.insert(m.host_id, (tcp_category, quic_category));
+    });
+    let records = snapshot.domain_records(universe);
+    let mut fig = Figure6 {
+        tcp: BTreeMap::new(),
+        quic: BTreeMap::new(),
+        cross: BTreeMap::new(),
+    };
+    for record in &records {
+        if !universe.domains[record.domain_idx].lists.cno {
+            continue;
+        }
+        let Some(host) = record.host_id else { continue };
+        let Some(&(tcp_category, quic_category)) = categories.get(&host) else {
+            continue;
+        };
         if let Some(t) = tcp_category {
             *fig.tcp.entry(t).or_default() += 1;
         }
@@ -560,10 +580,10 @@ pub struct Figure7 {
 /// Build Figure 7.  Cloud workers probe deduplicated IPs only, so the shares
 /// are re-weighted by the main vantage point's domain-to-IP mapping, exactly
 /// as the paper does.
-pub fn figure7(
+pub fn figure7<SM: SnapshotSource, SC: SnapshotSource>(
     universe: &Universe,
-    main_v4: &SnapshotMeasurement,
-    cloud: &[(VantagePoint, SnapshotMeasurement, Option<SnapshotMeasurement>)],
+    main_v4: &SM,
+    cloud: &[(VantagePoint, SC, Option<SC>)],
 ) -> Figure7 {
     // Domain weight per host, from the main vantage point's IPv4 view.
     let mut weight: HashMap<usize, u64> = HashMap::new();
@@ -577,33 +597,37 @@ pub fn figure7(
             total_weight += 1;
         }
     }
-    let share = |snapshot: &SnapshotMeasurement| -> f64 {
+    fn share<S: SnapshotSource + ?Sized>(
+        snapshot: &S,
+        weight: &HashMap<usize, u64>,
+        total_weight: u64,
+    ) -> f64 {
         if total_weight == 0 {
             return 0.0;
         }
-        let capable: u64 = snapshot
-            .hosts
-            .values()
-            .filter(|m| m.ecn_class() == Some(EcnClass::Capable))
-            .map(|m| weight.get(&m.host_id).copied().unwrap_or(0))
-            .sum();
+        let mut capable = 0u64;
+        snapshot.for_each_host(&mut |m| {
+            if m.ecn_class() == Some(EcnClass::Capable) {
+                capable += weight.get(&m.host_id).copied().unwrap_or(0);
+            }
+        });
         capable as f64 / total_weight as f64
-    };
+    }
     let mut rows = Vec::new();
     rows.push(Figure7Row {
-        vantage: main_v4.vantage.name.clone(),
-        marker: main_v4.vantage.provider.marker(),
-        capable_share_v4: share(main_v4),
+        vantage: main_v4.vantage().name.clone(),
+        marker: main_v4.vantage().provider.marker(),
+        capable_share_v4: share(main_v4, &weight, total_weight),
         capable_share_v6: None,
-        hosts_probed: main_v4.hosts.len(),
+        hosts_probed: main_v4.host_count(),
     });
     for (vantage, v4, v6) in cloud {
         rows.push(Figure7Row {
             vantage: vantage.name.clone(),
             marker: vantage.provider.marker(),
-            capable_share_v4: share(v4),
-            capable_share_v6: v6.as_ref().map(&share),
-            hosts_probed: v4.hosts.len(),
+            capable_share_v4: share(v4, &weight, total_weight),
+            capable_share_v6: v6.as_ref().map(|s| share(s, &weight, total_weight)),
+            hosts_probed: v4.host_count(),
         });
     }
     Figure7 { rows }

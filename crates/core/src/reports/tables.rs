@@ -1,14 +1,34 @@
 //! Builders for Tables 1–7.
+//!
+//! Every builder is generic over [`SnapshotSource`], so the same code renders
+//! a table from a live in-memory campaign or from a `qem-store` directory on
+//! disk — and produces byte-identical output either way.  Builders that need
+//! per-host attributes beyond the domain join (trace verdicts for Tables 4
+//! and 7) collect them in one streaming pass up front instead of random-
+//! accessing the snapshot, so a store-backed source never has to hold more
+//! than one segment in memory.
 
 use super::{fmt_count, fmt_pct};
-use crate::campaign::SnapshotMeasurement;
 use crate::observation::EcnClass;
+use crate::source::SnapshotSource;
 use qem_tracebox::PathVerdict;
 use qem_web::Universe;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::net::IpAddr;
+
+/// One streaming pass collecting the trace verdict of every traced host —
+/// the only per-host attribute Tables 4 and 7 need beyond the domain join.
+fn trace_verdicts<S: SnapshotSource + ?Sized>(snapshot: &S) -> HashMap<usize, PathVerdict> {
+    let mut verdicts = HashMap::new();
+    snapshot.for_each_host(&mut |m| {
+        if let Some(trace) = &m.trace {
+            verdicts.insert(m.host_id, trace.verdict);
+        }
+    });
+    verdicts
+}
 
 /// Which domain population a row covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -73,7 +93,7 @@ pub struct Table1 {
 }
 
 /// Build Table 1 from the main IPv4 snapshot.
-pub fn table1(universe: &Universe, snapshot: &SnapshotMeasurement) -> Table1 {
+pub fn table1<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> Table1 {
     let records = snapshot.domain_records(universe);
     let mut rows = Vec::new();
     for scope in [Scope::Toplists, Scope::Cno] {
@@ -198,9 +218,9 @@ pub struct ProviderTable {
     pub total_quic_domains: u64,
 }
 
-fn provider_table(
+fn provider_table<S: SnapshotSource + ?Sized>(
     universe: &Universe,
-    snapshot: &SnapshotMeasurement,
+    snapshot: &S,
     scope: Scope,
     listed: usize,
 ) -> ProviderTable {
@@ -282,12 +302,12 @@ fn provider_table(
 }
 
 /// Table 2: top providers of com/net/org QUIC domains.
-pub fn table2(universe: &Universe, snapshot: &SnapshotMeasurement) -> ProviderTable {
+pub fn table2<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> ProviderTable {
     provider_table(universe, snapshot, Scope::Cno, 8)
 }
 
 /// Table 3: top providers of toplist QUIC domains.
-pub fn table3(universe: &Universe, snapshot: &SnapshotMeasurement) -> ProviderTable {
+pub fn table3<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> ProviderTable {
     provider_table(universe, snapshot, Scope::Toplists, 5)
 }
 
@@ -364,8 +384,9 @@ pub struct Table4 {
 }
 
 /// Build Table 4 from the main IPv4 snapshot.
-pub fn table4(universe: &Universe, snapshot: &SnapshotMeasurement) -> Table4 {
+pub fn table4<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> Table4 {
     let records = snapshot.domain_records(universe);
+    let verdicts = trace_verdicts(snapshot);
     let mut per_org: BTreeMap<String, Table4Row> = BTreeMap::new();
     let mut totals = (0u64, 0u64, 0u64);
     let mut ips: [HashSet<usize>; 3] = [HashSet::new(), HashSet::new(), HashSet::new()];
@@ -377,8 +398,7 @@ pub fn table4(universe: &Universe, snapshot: &SnapshotMeasurement) -> Table4 {
             continue;
         }
         let Some(host) = record.host_id else { continue };
-        let measurement = snapshot.host(host);
-        let verdict = measurement.and_then(|m| m.trace.as_ref()).map(|t| t.verdict);
+        let verdict = verdicts.get(&host).copied();
         let org = org_of_host(universe, host);
         let row = per_org.entry(org.clone()).or_insert_with(|| Table4Row {
             org,
@@ -479,9 +499,9 @@ pub struct Table5 {
     pub v6: BTreeMap<EcnClass, ClassCount>,
 }
 
-fn classify_snapshot(
+fn classify_snapshot<S: SnapshotSource + ?Sized>(
     universe: &Universe,
-    snapshot: &SnapshotMeasurement,
+    snapshot: &S,
 ) -> BTreeMap<EcnClass, ClassCount> {
     let records = snapshot.domain_records(universe);
     let mut counts: BTreeMap<EcnClass, ClassCount> = BTreeMap::new();
@@ -503,10 +523,10 @@ fn classify_snapshot(
 }
 
 /// Build Table 5 from the main IPv4 snapshot and the optional IPv6 snapshot.
-pub fn table5(
+pub fn table5<S: SnapshotSource + ?Sized>(
     universe: &Universe,
-    v4: &SnapshotMeasurement,
-    v6: Option<&SnapshotMeasurement>,
+    v4: &S,
+    v6: Option<&S>,
 ) -> Table5 {
     Table5 {
         v4: classify_snapshot(universe, v4),
@@ -573,7 +593,7 @@ pub struct Table6 {
 }
 
 /// Build Table 6 from the main IPv4 snapshot.
-pub fn table6(universe: &Universe, snapshot: &SnapshotMeasurement) -> Table6 {
+pub fn table6<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> Table6 {
     let records = snapshot.domain_records(universe);
     let mut per_class: BTreeMap<EcnClass, BTreeMap<String, u64>> = BTreeMap::new();
     for record in &records {
@@ -655,8 +675,9 @@ pub struct Table7 {
 }
 
 /// Build Table 7 from the main IPv4 snapshot.
-pub fn table7(universe: &Universe, snapshot: &SnapshotMeasurement) -> Table7 {
+pub fn table7<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> Table7 {
     let records = snapshot.domain_records(universe);
+    let verdicts = trace_verdicts(snapshot);
     let mut remarking = Table7Row::default();
     let mut undercount = Table7Row::default();
     let mut ip_sets: HashMap<(u8, u8), HashSet<usize>> = HashMap::new();
@@ -670,10 +691,7 @@ pub fn table7(universe: &Universe, snapshot: &SnapshotMeasurement) -> Table7 {
             _ => continue,
         };
         let Some(host) = record.host_id else { continue };
-        let verdict = snapshot
-            .host(host)
-            .and_then(|m| m.trace.as_ref())
-            .map(|t| t.verdict);
+        let verdict = verdicts.get(&host).copied();
         let column = match verdict {
             Some(PathVerdict::RemarkedToEct1) => 0u8,
             Some(PathVerdict::Cleared) => 1u8,

@@ -108,26 +108,37 @@ impl<'a> Scanner<'a> {
 
     /// Scan every host that has an address in the requested family.
     pub fn scan_all(&self) -> Vec<HostMeasurement> {
-        let ids: Vec<usize> = self
-            .universe
-            .hosts
-            .iter()
-            .filter(|h| h.addr(self.options.ipv6).is_some())
-            .map(|h| h.id)
-            .collect();
-        self.scan_hosts(&ids)
+        self.scan_hosts(&self.universe.scan_population(self.options.ipv6))
     }
 
     /// Scan a specific set of hosts in parallel.
     ///
-    /// Results are sorted by host id and — because every per-host RNG is a
-    /// pure function of `seed × host id` — bit-identical for any worker
-    /// count.
+    /// Results are sorted by host id (duplicates probed once, as a real
+    /// scanner would) and — because every per-host RNG is a pure function of
+    /// `seed × host id` — bit-identical for any worker count.
     pub fn scan_hosts(&self, host_ids: &[usize]) -> Vec<HostMeasurement> {
-        let executor = ShardedExecutor::new(self.options.workers);
-        let mut out = executor.run(host_ids, |&id| self.measure_host(id));
-        out.sort_by_key(|m| m.host_id);
+        let mut out = Vec::with_capacity(host_ids.len());
+        self.scan_hosts_streaming(host_ids, |m| out.push(m));
         out
+    }
+
+    /// Scan a specific set of hosts in parallel, handing each measurement to
+    /// `sink` in ascending host-id order **as soon as it is available** —
+    /// the whole result set is never materialised in memory.
+    ///
+    /// This is the entry point store-backed campaigns use: the sink is a
+    /// segment writer that spills measurements to disk while the scan is
+    /// still running.  Because every per-host RNG is a pure function of
+    /// `seed × host id`, the delivered sequence is bit-identical to
+    /// [`Scanner::scan_hosts`] for any worker count.
+    pub fn scan_hosts_streaming<S: FnMut(HostMeasurement)>(&self, host_ids: &[usize], sink: S) {
+        // Input order is delivery order; sort (and dedup) up front so the
+        // stream arrives in host-id order, matching `scan_hosts`.
+        let mut ids = host_ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let executor = ShardedExecutor::new(self.options.workers);
+        executor.run_streaming(&ids, |&id| self.measure_host(id), sink);
     }
 
     /// Measure one host: QUIC, TCP and (sampled) tracebox.

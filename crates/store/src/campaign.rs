@@ -1,0 +1,312 @@
+//! Store-backed campaign runs: streaming ingest and kill-and-resume.
+//!
+//! [`CampaignStoreExt`] extends [`qem_core::Campaign`] with variants of the
+//! snapshot and longitudinal runs that spill to a store directory instead of
+//! accumulating measurements in memory.  Because every per-host measurement
+//! is a pure function of `seed × host id`, a resumed campaign — skipping the
+//! hosts already persisted before the kill — produces a snapshot
+//! bit-identical to an uninterrupted run at any worker count.
+
+use crate::longitudinal::{LongitudinalStore, LongitudinalWriter};
+use crate::store::{CampaignWriter, SnapshotMeta, StoredSnapshot};
+use crate::StoreError;
+use qem_core::campaign::{Campaign, CampaignOptions};
+use qem_core::scanner::{ScanOptions, Scanner};
+use qem_core::vantage::VantagePoint;
+use qem_web::SnapshotDate;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// What a resumed campaign did.
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The completed snapshot.
+    pub store: StoredSnapshot,
+    /// Hosts that were already persisted and therefore **not** re-scanned.
+    pub skipped_hosts: usize,
+    /// Hosts measured by the resume run.
+    pub scanned_hosts: usize,
+}
+
+/// Drive a streaming scan into a fallible sink (typically
+/// [`CampaignWriter::append`]), stopping the (cheap) appends after the first
+/// error and surfacing it afterwards.  The scan itself runs to completion —
+/// the executor owns worker threads that must join.
+pub fn scan_into<F>(scanner: &Scanner<'_>, ids: &[usize], mut sink: F) -> Result<(), StoreError>
+where
+    F: FnMut(qem_core::observation::HostMeasurement) -> Result<(), StoreError>,
+{
+    let mut first_error: Option<StoreError> = None;
+    scanner.scan_hosts_streaming(ids, |m| {
+        if first_error.is_none() {
+            if let Err(e) = sink(m) {
+                first_error = Some(e);
+            }
+        }
+    });
+    match first_error {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Store-backed campaign runs.
+pub trait CampaignStoreExt {
+    /// Run one snapshot, streaming every measurement into a store at `dir`
+    /// instead of materialising the result set.  Peak memory is one segment
+    /// buffer plus the executor's bounded in-flight window.
+    fn run_snapshot_to_store(
+        &self,
+        vantage: &VantagePoint,
+        options: &CampaignOptions,
+        ipv6: bool,
+        dir: &Path,
+    ) -> Result<StoredSnapshot, StoreError>;
+
+    /// Complete an interrupted [`CampaignStoreExt::run_snapshot_to_store`]:
+    /// hosts already persisted are skipped, the rest are measured with the
+    /// stored options (`workers` only changes scheduling, so it is supplied
+    /// fresh).  The result is bit-identical to an uninterrupted run.
+    fn resume_snapshot_to_store(&self, dir: &Path, workers: usize)
+        -> Result<ResumeOutcome, StoreError>;
+
+    /// Run the longitudinal series (one IPv4 snapshot per date), streaming
+    /// each date into a delta-encoded store: dates after the first persist
+    /// only hosts whose measurement changed.
+    fn run_longitudinal_to_store(
+        &self,
+        dates: &[SnapshotDate],
+        options: &CampaignOptions,
+        dir: &Path,
+    ) -> Result<LongitudinalStore, StoreError>;
+}
+
+impl CampaignStoreExt for Campaign<'_> {
+    fn run_snapshot_to_store(
+        &self,
+        vantage: &VantagePoint,
+        options: &CampaignOptions,
+        ipv6: bool,
+        dir: &Path,
+    ) -> Result<StoredSnapshot, StoreError> {
+        let universe = self.universe();
+        let meta = SnapshotMeta::for_campaign(options, vantage, ipv6);
+        let mut writer = CampaignWriter::create(dir, &meta)?;
+        let scanner = Scanner::new(
+            universe,
+            vantage.clone(),
+            ScanOptions {
+                date: options.date,
+                ipv6,
+                probe: options.probe,
+                trace_sample_probability: options.trace_sample_probability,
+                workers: options.workers,
+                seed: options.seed,
+            },
+        );
+        let population = universe.scan_population(ipv6);
+        scan_into(&scanner, &population, |m| writer.append(m))?;
+        writer.finish()
+    }
+
+    fn resume_snapshot_to_store(
+        &self,
+        dir: &Path,
+        workers: usize,
+    ) -> Result<ResumeOutcome, StoreError> {
+        let universe = self.universe();
+        let (mut writer, meta, persisted) = CampaignWriter::resume(dir)?;
+        let population = universe.scan_population(meta.ipv6);
+
+        // The persisted prefix must be a prefix of this universe's scan
+        // population — otherwise the store belongs to a different universe
+        // and "resuming" would splice two incompatible campaigns.
+        let expected: HashSet<usize> = population.iter().copied().collect();
+        if let Some(alien) = persisted.iter().find(|id| !expected.contains(id)) {
+            return Err(StoreError::Mismatch(format!(
+                "store holds host {alien}, which this universe would not scan — \
+                 wrong universe or options?"
+            )));
+        }
+
+        let persisted_set: HashSet<usize> = persisted.iter().copied().collect();
+        let remaining: Vec<usize> = population
+            .iter()
+            .copied()
+            .filter(|id| !persisted_set.contains(id))
+            .collect();
+        let scanner = Scanner::new(
+            universe,
+            meta.vantage.clone(),
+            ScanOptions {
+                date: meta.date,
+                ipv6: meta.ipv6,
+                probe: meta.probe,
+                trace_sample_probability: meta.trace_sample_probability,
+                workers,
+                seed: meta.seed,
+            },
+        );
+        scan_into(&scanner, &remaining, |m| writer.append(m))?;
+        let store = writer.finish()?;
+        Ok(ResumeOutcome {
+            store,
+            skipped_hosts: persisted.len(),
+            scanned_hosts: remaining.len(),
+        })
+    }
+
+    fn run_longitudinal_to_store(
+        &self,
+        dates: &[SnapshotDate],
+        options: &CampaignOptions,
+        dir: &Path,
+    ) -> Result<LongitudinalStore, StoreError> {
+        let universe = self.universe();
+        let vantage = VantagePoint::main();
+        let mut writer = LongitudinalWriter::create(dir, &vantage, options, dates)?;
+        let population = universe.scan_population(false);
+        for _ in dates {
+            let date = writer.begin_date()?;
+            let scanner = Scanner::new(
+                universe,
+                vantage.clone(),
+                ScanOptions {
+                    date,
+                    ipv6: false,
+                    probe: options.probe,
+                    trace_sample_probability: options.trace_sample_probability,
+                    workers: options.workers,
+                    seed: options.seed,
+                },
+            );
+            scan_into(&scanner, &population, |m| writer.append(m))?;
+            writer.end_date()?;
+        }
+        writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::temp_dir;
+    use qem_core::source::SnapshotSource;
+    use qem_web::{Universe, UniverseConfig};
+    use std::fs;
+
+    fn universe() -> Universe {
+        Universe::generate(&UniverseConfig::tiny())
+    }
+
+    #[test]
+    fn store_backed_snapshot_equals_in_memory_snapshot() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let options = CampaignOptions::paper_default();
+        let vantage = VantagePoint::main();
+        let in_memory = campaign.run_snapshot(&vantage, &options, false);
+
+        let dir = temp_dir("equality");
+        let stored = campaign
+            .run_snapshot_to_store(&vantage, &options, false, &dir)
+            .unwrap();
+        assert_eq!(stored.to_snapshot().unwrap().hosts, in_memory.hosts);
+        assert_eq!(stored.date(), in_memory.date);
+        assert_eq!(stored.vantage(), &in_memory.vantage);
+        // The persisted identity names exactly this campaign — and rejects
+        // any options that would produce different measurements.
+        assert!(stored.meta().matches(&options, &vantage, false));
+        assert!(!stored.meta().matches(&options, &vantage, true));
+        assert!(!stored.meta().matches(&CampaignOptions::ce_probing(), &vantage, false));
+        assert!(stored.meta().matches(
+            &CampaignOptions { workers: 7, ..options },
+            &vantage,
+            false
+        ), "worker count is scheduling, not identity");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_killed_campaign_resumes_without_rescanning() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let options = CampaignOptions::paper_default();
+        let vantage = VantagePoint::main();
+        let reference = campaign.run_snapshot(&vantage, &options, false);
+
+        // Simulate the kill: persist only the first 40% of the population,
+        // then drop the writer without finishing.
+        let dir = temp_dir("resume");
+        let population = universe.scan_population(false);
+        let cut = population.len() * 2 / 5;
+        {
+            let meta = SnapshotMeta::for_campaign(&options, &vantage, false);
+            let mut writer = CampaignWriter::create(&dir, &meta)
+                .unwrap()
+                .with_segment_capacity(16);
+            let scanner = Scanner::new(
+                &universe,
+                vantage.clone(),
+                ScanOptions {
+                    date: options.date,
+                    ipv6: false,
+                    probe: options.probe,
+                    trace_sample_probability: options.trace_sample_probability,
+                    workers: 0,
+                    seed: options.seed,
+                },
+            );
+            scan_into(&scanner, &population[..cut], |m| writer.append(m)).unwrap();
+            // Writer dropped here: partial segments stay, no COMPLETE marker.
+        }
+
+        let outcome = campaign.resume_snapshot_to_store(&dir, 4).unwrap();
+        // The persisted prefix is segment-aligned: everything the writer
+        // flushed survives, the buffered tail is re-scanned.
+        assert!(outcome.skipped_hosts > 0, "resume must reuse persisted hosts");
+        assert!(outcome.skipped_hosts <= cut);
+        assert_eq!(
+            outcome.skipped_hosts + outcome.scanned_hosts,
+            population.len(),
+            "every host is either reused or scanned exactly once"
+        );
+        assert_eq!(outcome.store.to_snapshot().unwrap().hosts, reference.hosts);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn longitudinal_store_replays_the_run_and_stores_deltas_only() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let options = CampaignOptions::paper_default();
+        let dates = [
+            SnapshotDate::JUN_2022,
+            SnapshotDate::FEB_2023,
+            SnapshotDate::APR_2023,
+        ];
+        let reference = campaign.run_longitudinal(&dates, &options);
+
+        let dir = temp_dir("longitudinal");
+        let store = campaign
+            .run_longitudinal_to_store(&dates, &options, &dir)
+            .unwrap();
+        let replayed = store.snapshots().unwrap();
+        assert_eq!(replayed.len(), reference.len());
+        for (a, b) in replayed.iter().zip(&reference) {
+            assert_eq!(a.date, b.date);
+            assert_eq!(a.hosts, b.hosts);
+        }
+        // The first date stores the full population; later dates store
+        // strictly fewer records (only changed hosts).
+        let full = store.stored_record_count(0).unwrap();
+        for idx in 1..dates.len() {
+            let delta = store.stored_record_count(idx).unwrap();
+            assert!(
+                delta < full,
+                "date {idx} stored {delta} records, expected fewer than {full}"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,736 @@
+//! The measurement codec: a compact, dependency-free binary encoding of
+//! [`HostMeasurement`] and everything it nests.
+//!
+//! Layout principles:
+//!
+//! * **Varints everywhere** — host ids, counters and lengths are small in
+//!   practice, and the ECN counters of a typical probe fit in one byte each.
+//! * **Flag bytes** — every `bool` and `Option` presence bit of a record is
+//!   packed into one leading byte per section instead of one byte each.
+//! * **Dictionaries** — server-header strings (`"LiteSpeed"`, `"cloudflare"`,
+//!   …) and AS numbers repeat across almost every record of a segment, so
+//!   records store small dictionary indices and the segment stores each
+//!   distinct string/ASN once.  The dictionaries are per-segment, which keeps
+//!   segments self-contained (any segment can be decoded alone — the property
+//!   resume depends on).
+//!
+//! The codec is intentionally explicit — one function per type, field order
+//! fixed by this file — because the format on disk is a compatibility
+//! surface: `FORMAT_VERSION` must be bumped whenever any of it changes.
+
+use crate::wire::{write_str, write_varint, ByteReader};
+use crate::StoreError;
+use qem_core::observation::HostMeasurement;
+use qem_netsim::Asn;
+use qem_packet::ecn::{EcnCodepoint, EcnCounts};
+use qem_packet::quic::QuicVersion;
+use qem_quic::http::HttpResponse;
+use qem_quic::{ClientReport, EcnValidationFailure, EcnValidationState, TransportParameters};
+use qem_tcp::TcpReport;
+use qem_tracebox::{EcnChange, PathVerdict, TraceAnalysis};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Version byte embedded in every store file.
+pub const FORMAT_VERSION: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Dictionaries
+// ---------------------------------------------------------------------------
+
+/// Per-segment dictionaries, built while encoding records.
+#[derive(Default)]
+pub struct DictBuilder {
+    strings: Vec<String>,
+    string_index: HashMap<String, u32>,
+    asns: Vec<u32>,
+    asn_index: HashMap<u32, u32>,
+}
+
+impl DictBuilder {
+    /// Intern a string, returning its dictionary index.
+    fn intern_str(&mut self, s: &str) -> u32 {
+        if let Some(&idx) = self.string_index.get(s) {
+            return idx;
+        }
+        let idx = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.string_index.insert(s.to_string(), idx);
+        idx
+    }
+
+    /// Intern an AS number, returning its dictionary index.
+    fn intern_asn(&mut self, asn: Asn) -> u32 {
+        if let Some(&idx) = self.asn_index.get(&asn.0) {
+            return idx;
+        }
+        let idx = self.asns.len() as u32;
+        self.asns.push(asn.0);
+        self.asn_index.insert(asn.0, idx);
+        idx
+    }
+
+    /// Serialise both dictionaries (strings, then ASNs).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.strings.len() as u64);
+        for s in &self.strings {
+            write_str(buf, s);
+        }
+        write_varint(buf, self.asns.len() as u64);
+        for &asn in &self.asns {
+            write_varint(buf, u64::from(asn));
+        }
+    }
+}
+
+/// Decoded per-segment dictionaries.
+pub struct Dicts {
+    strings: Vec<String>,
+    asns: Vec<u32>,
+}
+
+impl Dicts {
+    /// Deserialise the dictionaries written by [`DictBuilder::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Dicts, StoreError> {
+        let string_count = r.varint()? as usize;
+        let mut strings = Vec::with_capacity(string_count.min(4096));
+        for _ in 0..string_count {
+            strings.push(r.string()?);
+        }
+        let asn_count = r.varint()? as usize;
+        let mut asns = Vec::with_capacity(asn_count.min(4096));
+        for _ in 0..asn_count {
+            let asn = r.varint()?;
+            asns.push(
+                u32::try_from(asn)
+                    .map_err(|_| StoreError::Corrupt(format!("ASN {asn} overflows u32")))?,
+            );
+        }
+        Ok(Dicts { strings, asns })
+    }
+
+    fn string(&self, idx: u64) -> Result<&str, StoreError> {
+        self.strings
+            .get(idx as usize)
+            .map(String::as_str)
+            .ok_or_else(|| StoreError::Corrupt(format!("string dictionary index {idx} out of range")))
+    }
+
+    fn asn(&self, idx: u64) -> Result<Asn, StoreError> {
+        self.asns
+            .get(idx as usize)
+            .map(|&asn| Asn(asn))
+            .ok_or_else(|| StoreError::Corrupt(format!("ASN dictionary index {idx} out of range")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+/// `Option<&str>` as a dictionary reference: 0 = `None`, else index + 1.
+fn write_opt_str(buf: &mut Vec<u8>, dict: &mut DictBuilder, value: Option<&str>) {
+    match value {
+        None => write_varint(buf, 0),
+        Some(s) => write_varint(buf, u64::from(dict.intern_str(s)) + 1),
+    }
+}
+
+fn read_opt_str(r: &mut ByteReader<'_>, dicts: &Dicts) -> Result<Option<String>, StoreError> {
+    let tag = r.varint()?;
+    if tag == 0 {
+        Ok(None)
+    } else {
+        Ok(Some(dicts.string(tag - 1)?.to_string()))
+    }
+}
+
+/// `Option<Asn>` as a dictionary reference: 0 = `None`, else index + 1.
+fn write_opt_asn(buf: &mut Vec<u8>, dict: &mut DictBuilder, value: Option<Asn>) {
+    match value {
+        None => write_varint(buf, 0),
+        Some(asn) => write_varint(buf, u64::from(dict.intern_asn(asn)) + 1),
+    }
+}
+
+fn read_opt_asn(r: &mut ByteReader<'_>, dicts: &Dicts) -> Result<Option<Asn>, StoreError> {
+    let tag = r.varint()?;
+    if tag == 0 {
+        Ok(None)
+    } else {
+        Ok(Some(dicts.asn(tag - 1)?))
+    }
+}
+
+/// `Option<IpAddr>` tagged by family: 0 = `None`, 4 = IPv4, 6 = IPv6.
+fn write_opt_ip(buf: &mut Vec<u8>, value: Option<IpAddr>) {
+    match value {
+        None => buf.push(0),
+        Some(IpAddr::V4(addr)) => {
+            buf.push(4);
+            buf.extend_from_slice(&addr.octets());
+        }
+        Some(IpAddr::V6(addr)) => {
+            buf.push(6);
+            buf.extend_from_slice(&addr.octets());
+        }
+    }
+}
+
+fn read_opt_ip(r: &mut ByteReader<'_>) -> Result<Option<IpAddr>, StoreError> {
+    match r.u8()? {
+        0 => Ok(None),
+        4 => {
+            let octets: [u8; 4] = r.bytes(4)?.try_into().expect("4 bytes");
+            Ok(Some(IpAddr::from(octets)))
+        }
+        6 => {
+            let octets: [u8; 16] = r.bytes(16)?.try_into().expect("16 bytes");
+            Ok(Some(IpAddr::from(octets)))
+        }
+        tag => Err(StoreError::Corrupt(format!("invalid IP address tag {tag}"))),
+    }
+}
+
+fn write_counts(buf: &mut Vec<u8>, counts: EcnCounts) {
+    write_varint(buf, counts.ect0);
+    write_varint(buf, counts.ect1);
+    write_varint(buf, counts.ce);
+}
+
+fn read_counts(r: &mut ByteReader<'_>) -> Result<EcnCounts, StoreError> {
+    Ok(EcnCounts {
+        ect0: r.varint()?,
+        ect1: r.varint()?,
+        ce: r.varint()?,
+    })
+}
+
+fn codepoint_bits(cp: EcnCodepoint) -> u8 {
+    cp as u8
+}
+
+fn codepoint_from_bits(bits: u8) -> Result<EcnCodepoint, StoreError> {
+    match bits {
+        0b00 => Ok(EcnCodepoint::NotEct),
+        0b01 => Ok(EcnCodepoint::Ect1),
+        0b10 => Ok(EcnCodepoint::Ect0),
+        0b11 => Ok(EcnCodepoint::Ce),
+        _ => Err(StoreError::Corrupt(format!("invalid ECN codepoint bits {bits:#04b}"))),
+    }
+}
+
+fn validation_state_tag(state: EcnValidationState) -> u8 {
+    match state {
+        EcnValidationState::Testing => 0,
+        EcnValidationState::Unknown => 1,
+        EcnValidationState::Capable => 2,
+        EcnValidationState::Failed(failure) => {
+            3 + match failure {
+                EcnValidationFailure::NoMirroring => 0,
+                EcnValidationFailure::NonMonotonic => 1,
+                EcnValidationFailure::Undercount => 2,
+                EcnValidationFailure::WrongCodepoint => 3,
+                EcnValidationFailure::AllCe => 4,
+                EcnValidationFailure::AllLost => 5,
+            }
+        }
+    }
+}
+
+fn validation_state_from_tag(tag: u8) -> Result<EcnValidationState, StoreError> {
+    Ok(match tag {
+        0 => EcnValidationState::Testing,
+        1 => EcnValidationState::Unknown,
+        2 => EcnValidationState::Capable,
+        3 => EcnValidationState::Failed(EcnValidationFailure::NoMirroring),
+        4 => EcnValidationState::Failed(EcnValidationFailure::NonMonotonic),
+        5 => EcnValidationState::Failed(EcnValidationFailure::Undercount),
+        6 => EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint),
+        7 => EcnValidationState::Failed(EcnValidationFailure::AllCe),
+        8 => EcnValidationState::Failed(EcnValidationFailure::AllLost),
+        other => {
+            return Err(StoreError::Corrupt(format!("invalid ECN validation tag {other}")))
+        }
+    })
+}
+
+fn verdict_tag(verdict: PathVerdict) -> u8 {
+    match verdict {
+        PathVerdict::NoChange => 0,
+        PathVerdict::Cleared => 1,
+        PathVerdict::RemarkedToEct1 => 2,
+        PathVerdict::RemarkedToEct0 => 3,
+        PathVerdict::CeMarked => 4,
+        PathVerdict::Untested => 5,
+    }
+}
+
+fn verdict_from_tag(tag: u8) -> Result<PathVerdict, StoreError> {
+    Ok(match tag {
+        0 => PathVerdict::NoChange,
+        1 => PathVerdict::Cleared,
+        2 => PathVerdict::RemarkedToEct1,
+        3 => PathVerdict::RemarkedToEct0,
+        4 => PathVerdict::CeMarked,
+        5 => PathVerdict::Untested,
+        other => return Err(StoreError::Corrupt(format!("invalid path verdict tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Section codecs
+// ---------------------------------------------------------------------------
+
+fn encode_response(buf: &mut Vec<u8>, dict: &mut DictBuilder, response: &HttpResponse) {
+    write_varint(buf, u64::from(response.status));
+    write_opt_str(buf, dict, response.server.as_deref());
+    write_opt_str(buf, dict, response.via.as_deref());
+    write_opt_str(buf, dict, response.alt_svc.as_deref());
+    write_varint(buf, response.body_len as u64);
+}
+
+fn decode_response(r: &mut ByteReader<'_>, dicts: &Dicts) -> Result<HttpResponse, StoreError> {
+    let status = r.varint()?;
+    Ok(HttpResponse {
+        status: u16::try_from(status)
+            .map_err(|_| StoreError::Corrupt(format!("HTTP status {status} overflows u16")))?,
+        server: read_opt_str(r, dicts)?,
+        via: read_opt_str(r, dicts)?,
+        alt_svc: read_opt_str(r, dicts)?,
+        body_len: r.varint()? as usize,
+    })
+}
+
+fn encode_version(buf: &mut Vec<u8>, version: QuicVersion) {
+    match version {
+        QuicVersion::V1 => buf.push(0),
+        QuicVersion::Draft(n) => {
+            buf.push(1);
+            buf.push(n);
+        }
+        QuicVersion::Other(value) => {
+            buf.push(2);
+            write_varint(buf, u64::from(value));
+        }
+    }
+}
+
+fn decode_version(r: &mut ByteReader<'_>) -> Result<QuicVersion, StoreError> {
+    match r.u8()? {
+        0 => Ok(QuicVersion::V1),
+        1 => Ok(QuicVersion::Draft(r.u8()?)),
+        2 => {
+            let value = r.varint()?;
+            Ok(QuicVersion::Other(u32::try_from(value).map_err(|_| {
+                StoreError::Corrupt(format!("QUIC version {value} overflows u32"))
+            })?))
+        }
+        tag => Err(StoreError::Corrupt(format!("invalid QUIC version tag {tag}"))),
+    }
+}
+
+fn encode_transport_params(buf: &mut Vec<u8>, params: &TransportParameters) {
+    write_varint(buf, params.max_idle_timeout_ms);
+    write_varint(buf, params.max_udp_payload_size);
+    write_varint(buf, params.initial_max_data);
+    write_varint(buf, params.initial_max_stream_data);
+    write_varint(buf, params.initial_max_streams_bidi);
+    write_varint(buf, params.ack_delay_exponent);
+    write_varint(buf, params.max_ack_delay_ms);
+    write_varint(buf, params.active_connection_id_limit);
+}
+
+fn decode_transport_params(r: &mut ByteReader<'_>) -> Result<TransportParameters, StoreError> {
+    Ok(TransportParameters {
+        max_idle_timeout_ms: r.varint()?,
+        max_udp_payload_size: r.varint()?,
+        initial_max_data: r.varint()?,
+        initial_max_stream_data: r.varint()?,
+        initial_max_streams_bidi: r.varint()?,
+        ack_delay_exponent: r.varint()?,
+        max_ack_delay_ms: r.varint()?,
+        active_connection_id_limit: r.varint()?,
+    })
+}
+
+fn encode_quic_report(buf: &mut Vec<u8>, dict: &mut DictBuilder, report: &ClientReport) {
+    let mut flags = 0u8;
+    flags |= u8::from(report.connected);
+    flags |= u8::from(report.response.is_some()) << 1;
+    flags |= u8::from(report.server_transport_params.is_some()) << 2;
+    flags |= u8::from(report.transport_fingerprint.is_some()) << 3;
+    flags |= u8::from(report.peer_mirrored) << 4;
+    flags |= u8::from(report.server_used_ecn) << 5;
+    flags |= u8::from(report.error.is_some()) << 6;
+    buf.push(flags);
+    if let Some(response) = &report.response {
+        encode_response(buf, dict, response);
+    }
+    encode_version(buf, report.version);
+    if let Some(params) = &report.server_transport_params {
+        encode_transport_params(buf, params);
+    }
+    if let Some(fp) = report.transport_fingerprint {
+        write_varint(buf, fp);
+    }
+    buf.push(validation_state_tag(report.ecn_state));
+    write_counts(buf, report.mirrored_counts);
+    write_counts(buf, report.sent_counts);
+    write_counts(buf, report.received_ecn);
+    if let Some(error) = &report.error {
+        // Presence is already in flag bit 6: write the bare dictionary
+        // index, not an Option tag — one representation per value.
+        write_varint(buf, u64::from(dict.intern_str(error)));
+    }
+}
+
+fn decode_quic_report(r: &mut ByteReader<'_>, dicts: &Dicts) -> Result<ClientReport, StoreError> {
+    let flags = r.u8()?;
+    if flags & 0x80 != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "unknown QUIC report flags {flags:#04x}"
+        )));
+    }
+    let response = if flags & (1 << 1) != 0 {
+        Some(decode_response(r, dicts)?)
+    } else {
+        None
+    };
+    let version = decode_version(r)?;
+    let server_transport_params = if flags & (1 << 2) != 0 {
+        Some(decode_transport_params(r)?)
+    } else {
+        None
+    };
+    let transport_fingerprint = if flags & (1 << 3) != 0 {
+        Some(r.varint()?)
+    } else {
+        None
+    };
+    let ecn_state = validation_state_from_tag(r.u8()?)?;
+    let mirrored_counts = read_counts(r)?;
+    let sent_counts = read_counts(r)?;
+    let received_ecn = read_counts(r)?;
+    let error = if flags & (1 << 6) != 0 {
+        Some(dicts.string(r.varint()?)?.to_string())
+    } else {
+        None
+    };
+    Ok(ClientReport {
+        connected: flags & 1 != 0,
+        response,
+        version,
+        server_transport_params,
+        transport_fingerprint,
+        ecn_state,
+        peer_mirrored: flags & (1 << 4) != 0,
+        mirrored_counts,
+        sent_counts,
+        received_ecn,
+        server_used_ecn: flags & (1 << 5) != 0,
+        error,
+    })
+}
+
+fn encode_tcp_report(buf: &mut Vec<u8>, report: &TcpReport) {
+    let mut flags = 0u8;
+    flags |= u8::from(report.connected);
+    flags |= u8::from(report.negotiated) << 1;
+    flags |= u8::from(report.ce_mirrored) << 2;
+    flags |= u8::from(report.cwr_acknowledged) << 3;
+    flags |= u8::from(report.server_used_ecn) << 4;
+    flags |= u8::from(report.response_received) << 5;
+    buf.push(flags);
+    write_counts(buf, report.received_ecn);
+    write_counts(buf, report.server_observed_ecn);
+    write_varint(buf, u64::from(report.forward_losses));
+}
+
+fn decode_tcp_report(r: &mut ByteReader<'_>) -> Result<TcpReport, StoreError> {
+    let flags = r.u8()?;
+    if flags & 0xc0 != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "unknown TCP report flags {flags:#04x}"
+        )));
+    }
+    let received_ecn = read_counts(r)?;
+    let server_observed_ecn = read_counts(r)?;
+    let forward_losses = r.varint()?;
+    Ok(TcpReport {
+        connected: flags & 1 != 0,
+        negotiated: flags & (1 << 1) != 0,
+        ce_mirrored: flags & (1 << 2) != 0,
+        cwr_acknowledged: flags & (1 << 3) != 0,
+        received_ecn,
+        server_observed_ecn,
+        server_used_ecn: flags & (1 << 4) != 0,
+        response_received: flags & (1 << 5) != 0,
+        forward_losses: u32::try_from(forward_losses).map_err(|_| {
+            StoreError::Corrupt(format!("forward loss count {forward_losses} overflows u32"))
+        })?,
+    })
+}
+
+fn encode_trace(buf: &mut Vec<u8>, dict: &mut DictBuilder, trace: &TraceAnalysis) {
+    write_varint(buf, trace.changes.len() as u64);
+    for change in &trace.changes {
+        buf.push(codepoint_bits(change.from) << 2 | codepoint_bits(change.to));
+        buf.push(change.visible_at_ttl);
+        write_opt_ip(buf, change.last_unchanged_router);
+        write_opt_asn(buf, dict, change.asn_before);
+        write_opt_ip(buf, change.first_changed_router);
+        write_opt_asn(buf, dict, change.asn_at_change);
+    }
+    buf.push(verdict_tag(trace.verdict));
+    match trace.final_observed {
+        None => buf.push(0xff),
+        Some(cp) => buf.push(codepoint_bits(cp)),
+    }
+    buf.push(u8::from(trace.dscp_rewritten_only));
+}
+
+fn decode_trace(r: &mut ByteReader<'_>, dicts: &Dicts) -> Result<TraceAnalysis, StoreError> {
+    let change_count = r.varint()? as usize;
+    let mut changes = Vec::with_capacity(change_count.min(256));
+    for _ in 0..change_count {
+        let codepoints = r.u8()?;
+        changes.push(EcnChange {
+            from: codepoint_from_bits(codepoints >> 2)?,
+            to: codepoint_from_bits(codepoints & 0b11)?,
+            visible_at_ttl: r.u8()?,
+            last_unchanged_router: read_opt_ip(r)?,
+            asn_before: read_opt_asn(r, dicts)?,
+            first_changed_router: read_opt_ip(r)?,
+            asn_at_change: read_opt_asn(r, dicts)?,
+        });
+    }
+    let verdict = verdict_from_tag(r.u8()?)?;
+    let final_observed = match r.u8()? {
+        0xff => None,
+        bits => Some(codepoint_from_bits(bits)?),
+    };
+    let dscp_rewritten_only = r.u8()? != 0;
+    Ok(TraceAnalysis {
+        changes,
+        verdict,
+        final_observed,
+        dscp_rewritten_only,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+
+/// Encode one measurement record, interning strings/ASNs into `dict`.
+pub fn encode_measurement(buf: &mut Vec<u8>, dict: &mut DictBuilder, m: &HostMeasurement) {
+    write_varint(buf, m.host_id as u64);
+    let mut flags = 0u8;
+    flags |= u8::from(m.quic_reachable);
+    flags |= u8::from(m.quic.is_some()) << 1;
+    flags |= u8::from(m.tcp.is_some()) << 2;
+    flags |= u8::from(m.trace.is_some()) << 3;
+    buf.push(flags);
+    if let Some(quic) = &m.quic {
+        encode_quic_report(buf, dict, quic);
+    }
+    if let Some(tcp) = &m.tcp {
+        encode_tcp_report(buf, tcp);
+    }
+    if let Some(trace) = &m.trace {
+        encode_trace(buf, dict, trace);
+    }
+}
+
+/// Decode one measurement record against the segment's dictionaries.
+pub fn decode_measurement(
+    r: &mut ByteReader<'_>,
+    dicts: &Dicts,
+) -> Result<HostMeasurement, StoreError> {
+    let host_id = r.varint()? as usize;
+    let flags = r.u8()?;
+    if flags & 0xf0 != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "unknown measurement flags {flags:#04x} for host {host_id}"
+        )));
+    }
+    let quic = if flags & (1 << 1) != 0 {
+        Some(decode_quic_report(r, dicts)?)
+    } else {
+        None
+    };
+    let tcp = if flags & (1 << 2) != 0 {
+        Some(decode_tcp_report(r)?)
+    } else {
+        None
+    };
+    let trace = if flags & (1 << 3) != 0 {
+        Some(decode_trace(r, dicts)?)
+    } else {
+        None
+    };
+    Ok(HostMeasurement {
+        host_id,
+        quic_reachable: flags & 1 != 0,
+        quic,
+        tcp,
+        trace,
+    })
+}
+
+/// Encode a batch of measurements as a self-contained block: dictionaries
+/// first, then the record count, then the records.  This is the payload of a
+/// segment file ([`crate::segment`] adds framing and the checksum).
+pub fn encode_block(measurements: &[HostMeasurement]) -> Vec<u8> {
+    let mut dict = DictBuilder::default();
+    let mut records = Vec::new();
+    for m in measurements {
+        encode_measurement(&mut records, &mut dict, m);
+    }
+    let mut block = Vec::with_capacity(records.len() + 64);
+    dict.encode(&mut block);
+    write_varint(&mut block, measurements.len() as u64);
+    block.extend_from_slice(&records);
+    block
+}
+
+/// Decode a block produced by [`encode_block`].
+pub fn decode_block(data: &[u8]) -> Result<Vec<HostMeasurement>, StoreError> {
+    let mut r = ByteReader::new(data);
+    let dicts = Dicts::decode(&mut r)?;
+    let count = r.varint()? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(decode_measurement(&mut r, &dicts)?);
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the last record",
+            data.len() - r.position()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ClientReport {
+        ClientReport {
+            connected: true,
+            response: Some(HttpResponse {
+                status: 200,
+                server: Some("LiteSpeed/6.0".to_string()),
+                via: None,
+                alt_svc: Some("h3=\":443\"".to_string()),
+                body_len: 2048,
+            }),
+            version: QuicVersion::Draft(29),
+            server_transport_params: Some(TransportParameters::client_default()),
+            transport_fingerprint: Some(0xdead_beef_cafe),
+            ecn_state: EcnValidationState::Failed(EcnValidationFailure::Undercount),
+            peer_mirrored: true,
+            mirrored_counts: EcnCounts { ect0: 10, ect1: 0, ce: 1 },
+            sent_counts: EcnCounts { ect0: 12, ect1: 0, ce: 0 },
+            received_ecn: EcnCounts { ect0: 0, ect1: 0, ce: 0 },
+            server_used_ecn: false,
+            error: None,
+        }
+    }
+
+    fn sample_measurement(host_id: usize) -> HostMeasurement {
+        HostMeasurement {
+            host_id,
+            quic_reachable: true,
+            quic: Some(sample_report()),
+            tcp: Some(TcpReport {
+                connected: true,
+                negotiated: true,
+                ce_mirrored: false,
+                cwr_acknowledged: false,
+                received_ecn: EcnCounts::ZERO,
+                server_observed_ecn: EcnCounts { ect0: 9, ect1: 0, ce: 0 },
+                server_used_ecn: false,
+                response_received: true,
+                forward_losses: 1,
+            }),
+            trace: Some(TraceAnalysis {
+                changes: vec![EcnChange {
+                    from: EcnCodepoint::Ect0,
+                    to: EcnCodepoint::Ect1,
+                    visible_at_ttl: 7,
+                    last_unchanged_router: Some("10.1.2.3".parse().unwrap()),
+                    asn_before: Some(Asn(1299)),
+                    first_changed_router: Some("2001:db8::7".parse().unwrap()),
+                    asn_at_change: Some(Asn(174)),
+                }],
+                verdict: PathVerdict::RemarkedToEct1,
+                final_observed: Some(EcnCodepoint::Ect1),
+                dscp_rewritten_only: false,
+            }),
+        }
+    }
+
+    #[test]
+    fn a_full_record_round_trips() {
+        let m = sample_measurement(42);
+        let decoded = decode_block(&encode_block(std::slice::from_ref(&m))).unwrap();
+        assert_eq!(decoded, vec![m]);
+    }
+
+    #[test]
+    fn a_minimal_record_round_trips() {
+        let m = HostMeasurement {
+            host_id: 0,
+            quic_reachable: false,
+            quic: None,
+            tcp: None,
+            trace: None,
+        };
+        let decoded = decode_block(&encode_block(std::slice::from_ref(&m))).unwrap();
+        assert_eq!(decoded, vec![m]);
+    }
+
+    #[test]
+    fn dictionaries_deduplicate_repeated_strings() {
+        let hosts: Vec<HostMeasurement> = (0..100).map(sample_measurement).collect();
+        let block = encode_block(&hosts);
+        let one = encode_block(&hosts[..1]);
+        // 100 identical-shape records must cost measurably less than 100
+        // single-record blocks: every string and ASN is stored once per
+        // segment instead of once per record.
+        assert!(
+            block.len() < one.len() * hosts.len() * 4 / 5,
+            "block {} vs naive {}",
+            block.len(),
+            one.len() * hosts.len()
+        );
+        assert_eq!(decode_block(&block).unwrap(), hosts);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut block = encode_block(&[sample_measurement(1)]);
+        block.push(0);
+        assert!(matches!(decode_block(&block), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn every_validation_state_round_trips() {
+        for tag in 0..=8u8 {
+            let state = validation_state_from_tag(tag).unwrap();
+            assert_eq!(validation_state_tag(state), tag);
+        }
+        assert!(validation_state_from_tag(9).is_err());
+    }
+
+    #[test]
+    fn every_verdict_round_trips() {
+        for tag in 0..=5u8 {
+            assert_eq!(verdict_tag(verdict_from_tag(tag).unwrap()), tag);
+        }
+        assert!(verdict_from_tag(6).is_err());
+    }
+}

@@ -1,0 +1,689 @@
+//! One snapshot on disk: metadata, the streaming writer and the reader.
+//!
+//! Directory layout (one directory per snapshot):
+//!
+//! ```text
+//! <dir>/
+//!   snapshot.meta      identity: date, family, vantage, probe options
+//!   segment-00000.qseg measurements in ascending host-id order
+//!   segment-00001.qseg …
+//!   COMPLETE           end marker + total record count (absent ⇒ resumable)
+//! ```
+//!
+//! Every file is checksummed and written atomically, so the directory is
+//! always in one of three states: empty, a resumable prefix of a campaign,
+//! or a complete snapshot.
+
+use crate::codec::FORMAT_VERSION;
+use crate::segment::{
+    list_segments, read_segment, remove_tmp_orphans, write_atomically, write_segment,
+};
+use crate::wire::{fnv1a, write_str, write_u64_le, write_varint, ByteReader};
+use crate::StoreError;
+use qem_core::campaign::{CampaignOptions, SnapshotMeasurement};
+use qem_core::observation::HostMeasurement;
+use qem_core::scanner::ProbeMode;
+use qem_core::source::SnapshotSource;
+use qem_core::vantage::{CloudProvider, VantagePoint, VantageQuirks};
+use qem_web::SnapshotDate;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const META_MAGIC: &[u8; 4] = b"QMET";
+const COMPLETE_MAGIC: &[u8; 4] = b"QDON";
+
+/// File holding the snapshot identity.
+pub const META_FILE: &str = "snapshot.meta";
+/// End marker file; its presence means the snapshot is complete.
+pub const COMPLETE_FILE: &str = "COMPLETE";
+
+/// Records per segment file.  4096 full measurements (reports plus traces)
+/// stay in the low tens of megabytes — the writer's entire memory footprint.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------------
+
+/// Identity of one stored snapshot: everything (except the universe itself)
+/// needed to re-derive the remaining measurements of an interrupted campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Snapshot date.
+    pub date: SnapshotDate,
+    /// Whether IPv6 was probed.
+    pub ipv6: bool,
+    /// The vantage point.
+    pub vantage: VantagePoint,
+    /// Probe mode.
+    pub probe: ProbeMode,
+    /// Tracebox sampling probability.
+    pub trace_sample_probability: f64,
+    /// Campaign seed (the scanner derives every per-host RNG from it).
+    pub seed: u64,
+    /// Whether the segments hold a delta against the previous longitudinal
+    /// date instead of a full snapshot.
+    pub delta: bool,
+}
+
+impl SnapshotMeta {
+    /// Metadata for one snapshot of a campaign run.
+    pub fn for_campaign(options: &CampaignOptions, vantage: &VantagePoint, ipv6: bool) -> Self {
+        SnapshotMeta {
+            date: options.date,
+            ipv6,
+            vantage: vantage.clone(),
+            probe: options.probe,
+            trace_sample_probability: options.trace_sample_probability,
+            seed: options.seed,
+            delta: false,
+        }
+    }
+
+    /// Whether a campaign with `options` produces the measurements this
+    /// store holds.  The worker count is deliberately not part of the
+    /// identity: scheduling never changes results.
+    pub fn matches(&self, options: &CampaignOptions, vantage: &VantagePoint, ipv6: bool) -> bool {
+        self.date == options.date
+            && self.ipv6 == ipv6
+            && self.vantage == *vantage
+            && self.probe == options.probe
+            && self.trace_sample_probability.to_bits()
+                == options.trace_sample_probability.to_bits()
+            && self.seed == options.seed
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(96);
+        bytes.extend_from_slice(META_MAGIC);
+        bytes.push(FORMAT_VERSION);
+        let mut flags = 0u8;
+        flags |= u8::from(self.ipv6);
+        flags |= u8::from(self.delta) << 1;
+        bytes.push(flags);
+        write_varint(&mut bytes, u64::from(self.date.year));
+        bytes.push(self.date.month);
+        write_str(&mut bytes, &self.vantage.name);
+        bytes.push(match self.vantage.provider {
+            CloudProvider::Main => 0,
+            CloudProvider::Aws => 1,
+            CloudProvider::Vultr => 2,
+        });
+        write_varint(&mut bytes, u64::from(self.vantage.asn.0));
+        let quirks = &self.vantage.quirks;
+        let mut quirk_flags = 0u8;
+        quirk_flags |= u8::from(quirks.wix_unreachable);
+        quirk_flags |= u8::from(quirks.google_ce_anomaly) << 1;
+        bytes.push(quirk_flags);
+        write_u64_le(&mut bytes, quirks.extra_remark_probability.to_bits());
+        write_u64_le(&mut bytes, quirks.remark_suppression_probability.to_bits());
+        bytes.push(match self.probe {
+            ProbeMode::Ect0 => 0,
+            ProbeMode::ForceCe => 1,
+        });
+        write_u64_le(&mut bytes, self.trace_sample_probability.to_bits());
+        write_u64_le(&mut bytes, self.seed);
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    fn decode(bytes: &[u8]) -> Result<SnapshotMeta, StoreError> {
+        if bytes.len() < 8 {
+            return Err(StoreError::Corrupt("metadata file truncated".to_string()));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+        if stored != fnv1a(body) {
+            return Err(StoreError::Corrupt("metadata checksum mismatch".to_string()));
+        }
+        let mut r = ByteReader::new(body);
+        if r.bytes(META_MAGIC.len())? != META_MAGIC {
+            return Err(StoreError::Corrupt("bad metadata magic".to_string()));
+        }
+        let version = r.u8()?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported metadata version {version}"
+            )));
+        }
+        let flags = r.u8()?;
+        let year = r.varint()?;
+        let month = r.u8()?;
+        let name = r.string()?;
+        let provider = match r.u8()? {
+            0 => CloudProvider::Main,
+            1 => CloudProvider::Aws,
+            2 => CloudProvider::Vultr,
+            tag => {
+                return Err(StoreError::Corrupt(format!("invalid provider tag {tag}")))
+            }
+        };
+        let asn = r.varint()?;
+        let quirk_flags = r.u8()?;
+        let extra_remark = f64::from_bits(r.u64_le()?);
+        let remark_suppression = f64::from_bits(r.u64_le()?);
+        let probe = match r.u8()? {
+            0 => ProbeMode::Ect0,
+            1 => ProbeMode::ForceCe,
+            tag => return Err(StoreError::Corrupt(format!("invalid probe tag {tag}"))),
+        };
+        let trace_sample_probability = f64::from_bits(r.u64_le()?);
+        let seed = r.u64_le()?;
+        if !r.is_empty() {
+            return Err(StoreError::Corrupt("trailing bytes in metadata".to_string()));
+        }
+        Ok(SnapshotMeta {
+            date: SnapshotDate::new(
+                u16::try_from(year)
+                    .map_err(|_| StoreError::Corrupt(format!("year {year} overflows u16")))?,
+                month,
+            ),
+            ipv6: flags & 1 != 0,
+            vantage: VantagePoint {
+                name,
+                provider,
+                asn: qem_netsim::Asn(u32::try_from(asn).map_err(|_| {
+                    StoreError::Corrupt(format!("ASN {asn} overflows u32"))
+                })?),
+                quirks: VantageQuirks {
+                    wix_unreachable: quirk_flags & 1 != 0,
+                    google_ce_anomaly: quirk_flags & 2 != 0,
+                    extra_remark_probability: extra_remark,
+                    remark_suppression_probability: remark_suppression,
+                },
+            },
+            probe,
+            trace_sample_probability,
+            seed,
+            delta: flags & 2 != 0,
+        })
+    }
+
+    fn write_to(&self, dir: &Path) -> Result<(), StoreError> {
+        write_atomically(&dir.join(META_FILE), &self.encode())
+    }
+
+    fn read_from(dir: &Path) -> Result<SnapshotMeta, StoreError> {
+        let path = dir.join(META_FILE);
+        let bytes = fs::read(&path)
+            .map_err(|e| StoreError::State(format!("no snapshot at {}: {e}", dir.display())))?;
+        SnapshotMeta::decode(&bytes)
+            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))
+    }
+}
+
+fn write_complete_marker(dir: &Path, record_count: u64) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(24);
+    bytes.extend_from_slice(COMPLETE_MAGIC);
+    bytes.push(FORMAT_VERSION);
+    write_varint(&mut bytes, record_count);
+    let checksum = fnv1a(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    write_atomically(&dir.join(COMPLETE_FILE), &bytes)
+}
+
+fn read_complete_marker(dir: &Path) -> Result<Option<u64>, StoreError> {
+    let path = dir.join(COMPLETE_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 8 {
+        return Err(StoreError::Corrupt("COMPLETE marker truncated".to_string()));
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    if stored != fnv1a(body) {
+        return Err(StoreError::Corrupt("COMPLETE marker checksum mismatch".to_string()));
+    }
+    let mut r = ByteReader::new(body);
+    if r.bytes(COMPLETE_MAGIC.len())? != COMPLETE_MAGIC {
+        return Err(StoreError::Corrupt("bad COMPLETE marker magic".to_string()));
+    }
+    let _version = r.u8()?;
+    Ok(Some(r.varint()?))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming snapshot writer: measurements come in (in ascending host-id
+/// order, which is what [`qem_core::Scanner::scan_hosts_streaming`]
+/// delivers), segments go out.  At most one segment of measurements is held
+/// in memory.
+pub struct CampaignWriter {
+    dir: PathBuf,
+    buf: Vec<HostMeasurement>,
+    segment_capacity: usize,
+    next_segment: u32,
+    appended: u64,
+    last_host_id: Option<usize>,
+}
+
+impl CampaignWriter {
+    /// Start a new snapshot in `dir` (created if missing).  Fails if the
+    /// directory already holds a snapshot — complete or partial; use
+    /// [`CampaignWriter::resume`] for the latter.
+    pub fn create(dir: &Path, meta: &SnapshotMeta) -> Result<CampaignWriter, StoreError> {
+        fs::create_dir_all(dir)?;
+        if dir.join(COMPLETE_FILE).exists() {
+            return Err(StoreError::State(format!(
+                "{} already holds a complete snapshot",
+                dir.display()
+            )));
+        }
+        if dir.join(META_FILE).exists() {
+            return Err(StoreError::State(format!(
+                "{} already holds a partial snapshot; resume it instead",
+                dir.display()
+            )));
+        }
+        meta.write_to(dir)?;
+        Ok(CampaignWriter {
+            dir: dir.to_path_buf(),
+            buf: Vec::new(),
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            next_segment: 0,
+            appended: 0,
+            last_host_id: None,
+        })
+    }
+
+    /// Reopen an interrupted snapshot: validates the persisted prefix,
+    /// removes `.tmp` orphans and returns the writer (positioned after the
+    /// last complete segment) together with the metadata and the host ids
+    /// already persisted.
+    pub fn resume(dir: &Path) -> Result<(CampaignWriter, SnapshotMeta, Vec<usize>), StoreError> {
+        let meta = SnapshotMeta::read_from(dir)?;
+        if dir.join(COMPLETE_FILE).exists() {
+            return Err(StoreError::State(format!(
+                "{} is already complete; nothing to resume",
+                dir.display()
+            )));
+        }
+        remove_tmp_orphans(dir)?;
+        let segments = list_segments(dir)?;
+        let mut persisted = Vec::new();
+        for path in &segments {
+            for m in read_segment(path)? {
+                persisted.push(m.host_id);
+            }
+        }
+        let writer = CampaignWriter {
+            dir: dir.to_path_buf(),
+            buf: Vec::new(),
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            next_segment: segments.len() as u32,
+            appended: persisted.len() as u64,
+            last_host_id: persisted.last().copied(),
+        };
+        Ok((writer, meta, persisted))
+    }
+
+    /// Override the records-per-segment spill threshold.
+    pub fn with_segment_capacity(mut self, capacity: usize) -> Self {
+        self.segment_capacity = capacity.max(1);
+        self
+    }
+
+    /// Number of measurements appended so far (including persisted ones
+    /// found by [`CampaignWriter::resume`]).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Append one measurement; spills a segment to disk when the buffer
+    /// reaches the segment capacity.
+    pub fn append(&mut self, m: HostMeasurement) -> Result<(), StoreError> {
+        if let Some(last) = self.last_host_id {
+            if m.host_id <= last {
+                return Err(StoreError::State(format!(
+                    "measurements must arrive in ascending host-id order (got {} after {})",
+                    m.host_id, last
+                )));
+            }
+        }
+        self.last_host_id = Some(m.host_id);
+        self.buf.push(m);
+        self.appended += 1;
+        if self.buf.len() >= self.segment_capacity {
+            self.flush_segment()?;
+        }
+        Ok(())
+    }
+
+    fn flush_segment(&mut self) -> Result<(), StoreError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write_segment(&self.dir, self.next_segment, &self.buf)?;
+        self.next_segment += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush the remaining buffer and seal the snapshot with its `COMPLETE`
+    /// marker.  Dropping the writer without calling this leaves a valid,
+    /// resumable prefix — that is the crash-consistency story, not an error.
+    pub fn finish(mut self) -> Result<StoredSnapshot, StoreError> {
+        self.flush_segment()?;
+        write_complete_marker(&self.dir, self.appended)?;
+        StoredSnapshot::open(&self.dir)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A snapshot directory opened for reading.
+///
+/// Implements [`SnapshotSource`], so every table and figure builder consumes
+/// it directly — decoding one segment at a time, never the whole campaign.
+#[derive(Debug)]
+pub struct StoredSnapshot {
+    meta: SnapshotMeta,
+    segments: Vec<PathBuf>,
+    recorded_count: Option<u64>,
+}
+
+impl StoredSnapshot {
+    /// Open a **complete** snapshot.
+    pub fn open(dir: &Path) -> Result<StoredSnapshot, StoreError> {
+        let snapshot = StoredSnapshot::open_partial(dir)?;
+        if snapshot.recorded_count.is_none() {
+            return Err(StoreError::State(format!(
+                "{} holds an incomplete snapshot (no COMPLETE marker); resume the campaign first",
+                dir.display()
+            )));
+        }
+        Ok(snapshot)
+    }
+
+    /// Open a snapshot that may still be mid-campaign.
+    pub fn open_partial(dir: &Path) -> Result<StoredSnapshot, StoreError> {
+        let meta = SnapshotMeta::read_from(dir)?;
+        let segments = list_segments(dir)?;
+        let recorded_count = read_complete_marker(dir)?;
+        Ok(StoredSnapshot {
+            meta,
+            segments,
+            recorded_count,
+        })
+    }
+
+    /// The snapshot identity.
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.meta
+    }
+
+    /// Whether the `COMPLETE` marker is present.
+    pub fn is_complete(&self) -> bool {
+        self.recorded_count.is_some()
+    }
+
+    /// The record count sealed into the `COMPLETE` marker, if complete.
+    pub fn recorded_host_count(&self) -> Option<u64> {
+        self.recorded_count
+    }
+
+    /// Number of segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Stream every measurement, one segment in memory at a time.
+    pub fn iter(&self) -> MeasurementIter<'_> {
+        MeasurementIter {
+            segments: &self.segments,
+            next_segment: 0,
+            current: Vec::new().into_iter(),
+            failed: false,
+        }
+    }
+
+    /// The host ids persisted so far, in order.
+    pub fn host_ids(&self) -> Result<Vec<usize>, StoreError> {
+        let mut ids = Vec::new();
+        for result in self.iter() {
+            ids.push(result?.host_id);
+        }
+        Ok(ids)
+    }
+
+    /// Materialise the snapshot as an in-memory [`SnapshotMeasurement`].
+    ///
+    /// This is the convenience path for small universes and tests; the
+    /// report builders do **not** need it — they consume the store directly
+    /// through [`SnapshotSource`].
+    pub fn to_snapshot(&self) -> Result<SnapshotMeasurement, StoreError> {
+        let mut hosts = HashMap::new();
+        for result in self.iter() {
+            let m = result?;
+            hosts.insert(m.host_id, m);
+        }
+        if let Some(recorded) = self.recorded_count {
+            if recorded != hosts.len() as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "COMPLETE marker records {recorded} hosts but segments hold {}",
+                    hosts.len()
+                )));
+            }
+        }
+        Ok(SnapshotMeasurement {
+            date: self.meta.date,
+            ipv6: self.meta.ipv6,
+            vantage: self.meta.vantage.clone(),
+            hosts,
+        })
+    }
+}
+
+impl SnapshotSource for StoredSnapshot {
+    fn date(&self) -> SnapshotDate {
+        self.meta.date
+    }
+
+    fn ipv6(&self) -> bool {
+        self.meta.ipv6
+    }
+
+    fn vantage(&self) -> &VantagePoint {
+        &self.meta.vantage
+    }
+
+    fn host_count(&self) -> usize {
+        // The COMPLETE marker seals the exact record count — no need to
+        // decode the segments just to count them.  Partial stores (no
+        // marker) fall back to streaming, surfacing corruption the same way
+        // `for_each_host` does rather than counting the error item.
+        match self.recorded_count {
+            Some(count) => count as usize,
+            None => self
+                .iter()
+                .inspect(|r| {
+                    if let Err(e) = r {
+                        panic!("store segment unreadable while counting hosts: {e}");
+                    }
+                })
+                .count(),
+        }
+    }
+
+    /// Streams from disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment fails its checksum mid-iteration; callers that
+    /// need graceful degradation should pre-validate with
+    /// [`StoredSnapshot::iter`].
+    fn for_each_host(&self, f: &mut dyn FnMut(&HostMeasurement)) {
+        for result in self.iter() {
+            let m = result.expect("store segment unreadable during report generation");
+            f(&m);
+        }
+    }
+}
+
+/// Streaming iterator over a stored snapshot: segments are decoded lazily,
+/// one at a time, in host-id order.
+pub struct MeasurementIter<'a> {
+    segments: &'a [PathBuf],
+    next_segment: usize,
+    current: std::vec::IntoIter<HostMeasurement>,
+    failed: bool,
+}
+
+impl Iterator for MeasurementIter<'_> {
+    type Item = Result<HostMeasurement, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(m) = self.current.next() {
+                return Some(Ok(m));
+            }
+            let path = self.segments.get(self.next_segment)?;
+            self.next_segment += 1;
+            match read_segment(path) {
+                Ok(measurements) => self.current = measurements.into_iter(),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::temp_dir;
+
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta::for_campaign(
+            &CampaignOptions::paper_default(),
+            &VantagePoint::main(),
+            false,
+        )
+    }
+
+    fn measurement(host_id: usize) -> HostMeasurement {
+        HostMeasurement {
+            host_id,
+            quic_reachable: host_id % 2 == 0,
+            quic: None,
+            tcp: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn metadata_round_trips_including_quirky_vantages() {
+        for vantage in VantagePoint::cloud_fleet() {
+            let meta = SnapshotMeta {
+                date: SnapshotDate::MAY_2023,
+                ipv6: true,
+                vantage,
+                probe: ProbeMode::ForceCe,
+                trace_sample_probability: 0.2,
+                seed: 0x1299,
+                delta: true,
+            };
+            let decoded = SnapshotMeta::decode(&meta.encode()).unwrap();
+            assert_eq!(decoded, meta);
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips_across_segments() {
+        let dir = temp_dir("write-read");
+        let mut writer = CampaignWriter::create(&dir, &meta())
+            .unwrap()
+            .with_segment_capacity(7);
+        let hosts: Vec<HostMeasurement> = (0..23).map(measurement).collect();
+        for m in &hosts {
+            writer.append(m.clone()).unwrap();
+        }
+        let stored = writer.finish().unwrap();
+        assert!(stored.is_complete());
+        assert_eq!(stored.recorded_host_count(), Some(23));
+        assert_eq!(stored.segment_count(), 4); // 7 + 7 + 7 + 2
+        let read: Vec<HostMeasurement> = stored.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(read, hosts);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_dropped_writer_leaves_a_resumable_prefix() {
+        let dir = temp_dir("resume");
+        {
+            let mut writer = CampaignWriter::create(&dir, &meta())
+                .unwrap()
+                .with_segment_capacity(5);
+            for id in 0..12 {
+                writer.append(measurement(id)).unwrap();
+            }
+            // Dropped without finish(): segments 0 and 1 (10 hosts) are on
+            // disk, hosts 10 and 11 are lost with the buffer — exactly what
+            // a kill -9 would leave.
+        }
+        let (mut writer, read_meta, persisted) = CampaignWriter::resume(&dir).unwrap();
+        assert_eq!(read_meta, meta());
+        assert_eq!(persisted, (0..10).collect::<Vec<_>>());
+        for id in 10..15 {
+            writer.append(measurement(id)).unwrap();
+        }
+        let stored = writer.finish().unwrap();
+        assert_eq!(stored.host_ids().unwrap(), (0..15).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_appends_are_rejected() {
+        let dir = temp_dir("order");
+        let mut writer = CampaignWriter::create(&dir, &meta()).unwrap();
+        writer.append(measurement(5)).unwrap();
+        assert!(matches!(
+            writer.append(measurement(5)),
+            Err(StoreError::State(_))
+        ));
+        assert!(matches!(
+            writer.append(measurement(3)),
+            Err(StoreError::State(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_refuses_incomplete_and_create_refuses_existing() {
+        let dir = temp_dir("states");
+        let mut writer = CampaignWriter::create(&dir, &meta())
+            .unwrap()
+            .with_segment_capacity(2);
+        writer.append(measurement(0)).unwrap();
+        writer.append(measurement(1)).unwrap();
+        drop(writer);
+        assert!(matches!(StoredSnapshot::open(&dir), Err(StoreError::State(_))));
+        assert!(StoredSnapshot::open_partial(&dir).is_ok());
+        assert!(matches!(
+            CampaignWriter::create(&dir, &meta()),
+            Err(StoreError::State(_))
+        ));
+        let (writer, _, _) = CampaignWriter::resume(&dir).unwrap();
+        let stored = writer.finish().unwrap();
+        assert!(stored.is_complete());
+        assert!(matches!(
+            CampaignWriter::resume(&dir),
+            Err(StoreError::State(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

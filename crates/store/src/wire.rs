@@ -1,0 +1,200 @@
+//! Low-level wire primitives of the store format: LEB128 varints, a bounds-
+//! checked byte reader and the FNV-1a checksum that seals every file.
+//!
+//! Everything here is hand-rolled on purpose — the store must not pull in
+//! registry crates (the build runs fully offline), and the format is simple
+//! enough that a dependency would cost more than it saves.
+
+use crate::StoreError;
+
+/// Append a LEB128-encoded unsigned integer to `buf`.
+pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append a little-endian `u64` (used for f64 bit patterns and checksums,
+/// where varint encoding would inflate random bit patterns).
+pub fn write_u64_le(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn write_str(buf: &mut Vec<u8>, s: &str) {
+    write_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// The 64-bit FNV-1a hash of `data` — the integrity seal at the end of every
+/// store file.  Not cryptographic; it catches truncation and bit rot, which
+/// is all a local result store needs.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A bounds-checked cursor over an encoded buffer.  Every read error carries
+/// the reader's position so corrupt files produce actionable messages.
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wrap a buffer.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn corrupt(&self, what: &str) -> StoreError {
+        StoreError::Corrupt(format!("{what} at offset {}", self.pos))
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        let byte = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| self.corrupt("unexpected end of data"))?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| self.corrupt("unexpected end of data"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, StoreError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(self.corrupt("varint overflows u64"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(self.corrupt("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64_le(&mut self) -> Result<u64, StoreError> {
+        let bytes = self.bytes(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, StoreError> {
+        let len = self.varint()? as usize;
+        if len > self.data.len().saturating_sub(self.pos) {
+            return Err(self.corrupt("string length exceeds remaining data"));
+        }
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt(format!("invalid UTF-8 at offset {}", self.pos)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_across_magnitudes() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut reader = ByteReader::new(&buf);
+        for &v in &values {
+            assert_eq!(reader.varint().unwrap(), v);
+        }
+        assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.truncate(buf.len() - 1);
+        assert!(ByteReader::new(&buf).varint().is_err());
+    }
+
+    #[test]
+    fn oversized_varint_is_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0x80u8; 11];
+        assert!(ByteReader::new(&buf).varint().is_err());
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_lengths() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "Aachen (main)");
+        write_str(&mut buf, "");
+        let mut reader = ByteReader::new(&buf);
+        assert_eq!(reader.string().unwrap(), "Aachen (main)");
+        assert_eq!(reader.string().unwrap(), "");
+
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1_000);
+        bad.push(b'x');
+        assert!(ByteReader::new(&bad).string().is_err());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -43,6 +43,18 @@ impl SnapshotDate {
         total.saturating_sub(start)
     }
 
+    /// The date `months` months after June 2022 — the inverse of
+    /// [`SnapshotDate::months_since_start`] for every date at or after the
+    /// start of the model.  `qem-store`'s longitudinal manifests persist
+    /// dates in this compact offset form and rely on the round-trip.
+    pub fn from_months_since_start(months: u32) -> SnapshotDate {
+        let total = 2022 * 12 + 5 + months;
+        SnapshotDate {
+            year: (total / 12) as u16,
+            month: (total % 12 + 1) as u8,
+        }
+    }
+
     /// The monthly sequence from June 2022 to April 2023 inclusive, the range
     /// Figure 3 plots.
     pub fn longitudinal_range() -> Vec<SnapshotDate> {
@@ -88,6 +100,49 @@ mod tests {
         assert_eq!(range[0], SnapshotDate::JUN_2022);
         assert_eq!(*range.last().unwrap(), SnapshotDate::APR_2023);
         assert!(range.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn months_since_start_round_trips_for_the_model_window() {
+        // Every month from the start of the model through the end of 2025
+        // (well past any date the reproduction uses) must survive the
+        // offset encoding qem-store persists.
+        for months in 0..43 {
+            let date = SnapshotDate::from_months_since_start(months);
+            assert_eq!(date.months_since_start(), months, "offset {months}");
+        }
+        // And the named constants map onto their known offsets.
+        for date in [
+            SnapshotDate::JUN_2022,
+            SnapshotDate::FEB_2023,
+            SnapshotDate::MAR_2023,
+            SnapshotDate::APR_2023,
+            SnapshotDate::MAY_2023,
+        ] {
+            assert_eq!(
+                SnapshotDate::from_months_since_start(date.months_since_start()),
+                date
+            );
+        }
+        // Year boundaries land on real months.
+        assert_eq!(SnapshotDate::from_months_since_start(6), SnapshotDate::new(2022, 12));
+        assert_eq!(SnapshotDate::from_months_since_start(7), SnapshotDate::new(2023, 1));
+    }
+
+    #[test]
+    fn longitudinal_range_is_strictly_ordered_and_unique() {
+        let range = SnapshotDate::longitudinal_range();
+        // Strict chronological order implies uniqueness; check both anyway
+        // so a future edit that breaks one invariant names it precisely.
+        assert!(range.windows(2).all(|w| w[0] < w[1]), "range must ascend");
+        let mut deduped = range.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), range.len(), "range must not repeat dates");
+        // Consecutive months: the offsets form 0, 1, 2, … with no gaps —
+        // the property the store's delta chain indexing relies on.
+        for (idx, date) in range.iter().enumerate() {
+            assert_eq!(date.months_since_start(), idx as u32);
+        }
     }
 
     #[test]

@@ -440,6 +440,19 @@ impl Universe {
         &self.as_org
     }
 
+    /// Every host with an address in the requested family, in ascending id
+    /// order — **the** scan population.  Scanners, store-backed campaigns
+    /// and resume all derive their host lists from this one definition, so
+    /// the "which hosts does a census cover?" rule cannot drift between the
+    /// in-memory and persisted paths.
+    pub fn scan_population(&self, ipv6: bool) -> Vec<usize> {
+        self.hosts
+            .iter()
+            .filter(|h| h.addr(ipv6).is_some())
+            .map(|h| h.id)
+            .collect()
+    }
+
     /// Iterator over domains on the `.com/.net/.org` zone lists.
     pub fn cno_domains(&self) -> impl Iterator<Item = &Domain> {
         self.domains.iter().filter(|d| d.lists.cno)

@@ -1,0 +1,110 @@
+//! Kill-and-resume: a census that streams into a `qem-store` directory,
+//! dies mid-scan, and is completed without re-measuring a single persisted
+//! host — yielding byte-identical tables to an uninterrupted in-memory run.
+//!
+//! Run with: `cargo run --release --example resume`
+
+use qem::core::reports::table1;
+use qem::core::scanner::ScanOptions;
+use qem::core::{Campaign, CampaignOptions, Scanner, VantagePoint};
+use qem::store::{scan_into, CampaignStoreExt, CampaignWriter, SnapshotMeta};
+use qem::web::{Universe, UniverseConfig};
+use std::fs;
+
+fn main() {
+    let config = UniverseConfig::default();
+    println!(
+        "generating universe (scale 1:{}) ...",
+        (1.0 / config.scale).round() as u64
+    );
+    let universe = Universe::generate(&config);
+    let campaign = Campaign::new(&universe);
+    let options = CampaignOptions::paper_default();
+    let vantage = VantagePoint::main();
+
+    let dir = std::env::temp_dir().join(format!("qem-resume-example-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    // ---- Phase 1: the campaign that dies ---------------------------------
+    // Stream the first ~60% of the scan population into the store, then
+    // "crash": drop the writer without finish().  What stays behind is a
+    // valid prefix — checksummed segments plus the snapshot metadata.
+    let population = universe.scan_population(false);
+    let cut = population.len() * 3 / 5;
+    println!(
+        "phase 1: scanning ... and killing the campaign after {cut} of {} hosts",
+        population.len()
+    );
+    {
+        let meta = SnapshotMeta::for_campaign(&options, &vantage, false);
+        let mut writer = CampaignWriter::create(&dir, &meta)
+            .expect("create store")
+            .with_segment_capacity(512);
+        let scanner = Scanner::new(
+            &universe,
+            vantage.clone(),
+            ScanOptions {
+                date: options.date,
+                ipv6: false,
+                probe: options.probe,
+                trace_sample_probability: options.trace_sample_probability,
+                workers: options.workers,
+                seed: options.seed,
+            },
+        );
+        scan_into(&scanner, &population[..cut], |m| writer.append(m)).expect("stream scan");
+        // The writer is dropped here without finish() — the "kill -9".
+    }
+    let segments = fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|ext| ext == "qseg"))
+        })
+        .count();
+    println!("         store now holds {segments} sealed segment files, no COMPLETE marker");
+
+    // ---- Phase 2: resume --------------------------------------------------
+    // The store knows the campaign's options and which hosts are persisted;
+    // resume scans only the remainder.  Per-host RNG derivation makes the
+    // completed snapshot bit-identical to a never-interrupted run.
+    println!("phase 2: resuming the campaign from the store ...");
+    let outcome = campaign
+        .resume_snapshot_to_store(&dir, 0)
+        .expect("resume campaign");
+    println!(
+        "         reused {} persisted hosts, scanned {} remaining hosts",
+        outcome.skipped_hosts, outcome.scanned_hosts
+    );
+    assert!(outcome.skipped_hosts > 0, "resume must skip persisted hosts");
+    assert_eq!(
+        outcome.skipped_hosts + outcome.scanned_hosts,
+        population.len()
+    );
+
+    // ---- Phase 3: store-backed reports ------------------------------------
+    // Report builders consume the store directly (streaming, one segment in
+    // memory at a time) and must match the in-memory run byte for byte.
+    println!("phase 3: rendering Table 1 from the store and from memory ...\n");
+    let in_memory = campaign.run_snapshot(&vantage, &options, false);
+    let from_store = table1(&universe, &outcome.store).to_string();
+    let from_memory = table1(&universe, &in_memory).to_string();
+    assert_eq!(from_store, from_memory, "store-backed report must be identical");
+    println!("{from_store}");
+    println!("store-backed and in-memory Table 1 are byte-identical ✓");
+
+    let bytes: u64 = fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    println!(
+        "store on disk: {} files, {:.1} KiB for {} hosts",
+        fs::read_dir(&dir).expect("read store dir").count(),
+        bytes as f64 / 1024.0,
+        population.len()
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -9,6 +9,7 @@ pub use qem_core as core;
 pub use qem_netsim as netsim;
 pub use qem_packet as packet;
 pub use qem_quic as quic;
+pub use qem_store as store;
 pub use qem_tcp as tcp;
 pub use qem_tracebox as tracebox;
 pub use qem_web as web;

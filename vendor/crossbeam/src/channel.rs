@@ -38,20 +38,23 @@ struct State<T> {
 struct Shared<T> {
     state: Mutex<State<T>>,
     available: Condvar,
+    /// Signalled whenever a slot frees up in a bounded channel.
+    space: Condvar,
+    /// Queue capacity; `usize::MAX` for unbounded channels.
+    capacity: usize,
 }
 
-/// The sending half of an unbounded MPMC channel.
+/// The sending half of an MPMC channel.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// The receiving half of an unbounded MPMC channel.
+/// The receiving half of an MPMC channel.
 pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// Create an unbounded MPMC channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             queue: VecDeque::new(),
@@ -59,6 +62,8 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
             receivers: 1,
         }),
         available: Condvar::new(),
+        space: Condvar::new(),
+        capacity,
     });
     (
         Sender {
@@ -68,17 +73,36 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Create an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(usize::MAX)
+}
+
+/// Create a bounded MPMC channel: [`Sender::send`] blocks while the queue
+/// holds `capacity` messages.  A capacity of zero is rounded up to one (the
+/// rendezvous semantics of upstream's zero-capacity channel are not needed
+/// by this workspace).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(capacity.max(1))
+}
+
 impl<T> Sender<T> {
-    /// Enqueue a message; fails only when every receiver has been dropped.
+    /// Enqueue a message, blocking while a bounded channel is full; fails
+    /// only when every receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut state = self.shared.state.lock().expect("channel poisoned");
-        if state.receivers == 0 {
-            return Err(SendError(value));
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.available.notify_one();
+                return Ok(());
+            }
+            state = self.shared.space.wait(state).expect("channel poisoned");
         }
-        state.queue.push_back(value);
-        drop(state);
-        self.shared.available.notify_one();
-        Ok(())
     }
 }
 
@@ -109,6 +133,8 @@ impl<T> Receiver<T> {
         let mut state = self.shared.state.lock().expect("channel poisoned");
         loop {
             if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -124,12 +150,17 @@ impl<T> Receiver<T> {
 
     /// Non-blocking pop: `None` when the queue is currently empty.
     pub fn try_recv(&self) -> Option<T> {
-        self.shared
+        let value = self
+            .shared
             .state
             .lock()
             .expect("channel poisoned")
             .queue
-            .pop_front()
+            .pop_front();
+        if value.is_some() {
+            self.shared.space.notify_one();
+        }
+        value
     }
 
     /// Blocking iterator that drains the channel until disconnection.
@@ -149,7 +180,14 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.state.lock().expect("channel poisoned").receivers -= 1;
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Wake senders blocked on a full bounded queue so they observe
+            // disconnection instead of waiting forever.
+            self.shared.space.notify_all();
+        }
     }
 }
 
@@ -206,6 +244,36 @@ mod tests {
         a.append(&mut b);
         a.sort_unstable();
         assert_eq!(a, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees_up() {
+        let (tx, rx) = bounded(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let sender = s.spawn(move || {
+                // Blocks until the consumer below pops a message.
+                tx.send(2).unwrap();
+                drop(tx);
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2]);
+            sender.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn bounded_send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let sender = s.spawn(move || tx.send(2));
+            // The sender is (or will be) blocked on the full queue; dropping
+            // the receiver must unblock it with an error.
+            drop(rx);
+            assert_eq!(sender.join().unwrap(), Err(SendError(2)));
+        });
     }
 
     #[test]
