@@ -167,7 +167,8 @@ fn l4s_ablation(c: &mut Criterion) {
 
     // Cross-check the headline claim once per run.
     let clean = remark_then_aqm_probability(EcnPolicy::Pass, &aqm, EcnCodepoint::Ect0);
-    let remarked = remark_then_aqm_probability(EcnPolicy::RemarkEct0ToEct1, &aqm, EcnCodepoint::Ect0);
+    let remarked =
+        remark_then_aqm_probability(EcnPolicy::RemarkEct0ToEct1, &aqm, EcnCodepoint::Ect0);
     assert!(remarked > 10.0 * clean);
     // And confirm the pipeline classifies those paths as re-marking failures.
     let _ = EcnClass::RemarkEct1;
@@ -211,7 +212,9 @@ fn ablation_store_codec(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_store_codec");
     group.sample_size(10);
-    group.bench_function("encode_block", |b| b.iter(|| black_box(encode_block(&hosts))));
+    group.bench_function("encode_block", |b| {
+        b.iter(|| black_box(encode_block(&hosts)))
+    });
     group.bench_function("decode_block", |b| {
         b.iter(|| black_box(decode_block(&block).expect("decode")))
     });
@@ -227,10 +230,8 @@ fn ablation_store_codec(c: &mut Criterion) {
     let mut dirs = Vec::new();
     group.bench_function("census_store_backed", |b| {
         b.iter(|| {
-            let dir = std::env::temp_dir().join(format!(
-                "qem-bench-store-{}-{run}",
-                std::process::id()
-            ));
+            let dir =
+                std::env::temp_dir().join(format!("qem-bench-store-{}-{run}", std::process::id()));
             run += 1;
             dirs.push(dir.clone());
             let stored = campaign

@@ -1,0 +1,231 @@
+//! Throughput of the discrete-event engine vs. the historical per-connection
+//! driver loop.
+//!
+//! The engine refactor moved `run_connection` onto a one-flow
+//! [`qem_netsim::Engine`]; the acceptance bar is that single-flow hosts/sec
+//! must be no worse than the legacy loop.  To keep the comparison honest the
+//! legacy loop lives on here, verbatim, built from the same public sans-IO
+//! endpoint API — if the engine wrapper ever regresses, this bench shows it.
+//!
+//! Run with: `cargo bench -p qem-bench --bench engine_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qem_netsim::{build_transit_path, Asn, CrossTraffic, DuplexPath, TransitProfile};
+use qem_netsim::{SimDuration, SimInstant};
+use qem_packet::ecn::EcnCodepoint;
+use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header};
+use qem_packet::quic::QUIC_PORT;
+use qem_packet::udp::UdpHeader;
+use qem_quic::client::{ClientConfig, ClientConnection};
+use qem_quic::server::ServerConnection;
+use qem_quic::ServerBehavior;
+use qem_quic::{run_connection, run_connection_under_load, ConnectionOutcome, DriverConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Instant;
+
+fn addrs() -> (IpAddr, IpAddr) {
+    (
+        IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, 80)),
+    )
+}
+
+fn clean_path() -> DuplexPath {
+    DuplexPath::symmetric_clean_reverse(build_transit_path(
+        Asn::DFN,
+        Asn(16509),
+        TransitProfile::Clean,
+        false,
+    ))
+}
+
+fn encapsulate(
+    src: IpAddr,
+    dst: IpAddr,
+    sp: u16,
+    dp: u16,
+    ecn: EcnCodepoint,
+    p: &[u8],
+) -> IpDatagram {
+    let udp = UdpHeader::new(sp, dp).encode(src, dst, p);
+    let header = match (src, dst) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => {
+            IpHeader::V4(Ipv4Header::new(s, d, IpProtocol::Udp, 64).with_ecn(ecn))
+        }
+        _ => unreachable!("bench uses IPv4 only"),
+    };
+    IpDatagram::new(header, udp)
+}
+
+fn decapsulate(datagram: &IpDatagram) -> Option<Vec<u8>> {
+    if datagram.header.protocol() != IpProtocol::Udp {
+        return None;
+    }
+    let (_, payload) = UdpHeader::decode(&datagram.payload).ok()?;
+    Some(payload.to_vec())
+}
+
+/// The pre-engine driver loop, kept verbatim as the performance baseline.
+fn legacy_run_connection(
+    client_config: ClientConfig,
+    behavior: ServerBehavior,
+    path: &DuplexPath,
+    config: &DriverConfig,
+    rng: &mut StdRng,
+) -> bool {
+    let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
+    let mut server = ServerConnection::new(behavior, rng.gen());
+    let mut now = SimInstant::EPOCH;
+    let deadline = SimInstant::EPOCH + config.max_duration;
+
+    for _ in 0..config.max_iterations {
+        let mut activity = false;
+        while let Some(transmit) = client.poll_transmit(now) {
+            activity = true;
+            let datagram = encapsulate(
+                config.client_addr,
+                config.server_addr,
+                config.client_port,
+                QUIC_PORT,
+                transmit.ecn,
+                &transmit.payload,
+            );
+            if let qem_netsim::TransitOutcome::Delivered { datagram, .. } =
+                path.forward.transit(&datagram, rng)
+            {
+                if let Some(payload) = decapsulate(&datagram) {
+                    server.handle_datagram(now, datagram.header.ecn(), &payload);
+                }
+            }
+        }
+        while let Some(transmit) = server.poll_transmit(now) {
+            activity = true;
+            let datagram = encapsulate(
+                config.server_addr,
+                config.client_addr,
+                QUIC_PORT,
+                config.client_port,
+                transmit.ecn,
+                &transmit.payload,
+            );
+            if let qem_netsim::TransitOutcome::Delivered { datagram, .. } =
+                path.reverse.transit(&datagram, rng)
+            {
+                if let Some(payload) = decapsulate(&datagram) {
+                    client.handle_datagram(now, datagram.header.ecn(), &payload);
+                }
+            }
+        }
+        if client.is_closed() {
+            break;
+        }
+        if activity {
+            continue;
+        }
+        let next = match (client.poll_timeout(), server.poll_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        match next {
+            Some(t) if t <= deadline => {
+                now = if t > now {
+                    t
+                } else {
+                    now + SimDuration::from_millis(1)
+                };
+                client.handle_timeout(now);
+                server.handle_timeout(now);
+            }
+            _ => break,
+        }
+    }
+    client.report().connected
+}
+
+fn engine_hosts(n: u64, path: &DuplexPath, config: &DriverConfig) -> u64 {
+    let mut connected = 0u64;
+    for seed in 0..n {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome: ConnectionOutcome = run_connection(
+            ClientConfig::paper_default("bench.example"),
+            ServerBehavior::accurate(),
+            path,
+            config,
+            &mut rng,
+        );
+        connected += u64::from(outcome.report.connected);
+    }
+    connected
+}
+
+fn legacy_hosts(n: u64, path: &DuplexPath, config: &DriverConfig) -> u64 {
+    let mut connected = 0u64;
+    for seed in 0..n {
+        let mut rng = StdRng::seed_from_u64(seed);
+        connected += u64::from(legacy_run_connection(
+            ClientConfig::paper_default("bench.example"),
+            ServerBehavior::accurate(),
+            path,
+            config,
+            &mut rng,
+        ));
+    }
+    connected
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let (client_addr, server_addr) = addrs();
+    let path = clean_path();
+    let config = DriverConfig::new(client_addr, server_addr);
+    const HOSTS: u64 = 50;
+
+    // Headline numbers once per run: hosts/sec, engine vs legacy (both
+    // warmed up first so neither pays one-time setup costs).
+    let a = legacy_hosts(HOSTS, &path, &config);
+    let b = engine_hosts(HOSTS, &path, &config);
+    assert_eq!(a, b, "engine and legacy loop must agree on outcomes");
+    let t = Instant::now();
+    let _ = black_box(legacy_hosts(HOSTS, &path, &config));
+    let legacy_rate = HOSTS as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = black_box(engine_hosts(HOSTS, &path, &config));
+    let engine_rate = HOSTS as f64 / t.elapsed().as_secs_f64();
+    println!("--- engine_throughput: single-flow hosts/sec ---");
+    println!("  legacy driver loop: {legacy_rate:>10.0} hosts/s");
+    println!(
+        "  one-flow engine:    {engine_rate:>10.0} hosts/s ({:+.1} %)",
+        100.0 * (engine_rate - legacy_rate) / legacy_rate
+    );
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.bench_function("single_flow_legacy_loop", |bch| {
+        bch.iter(|| black_box(legacy_hosts(10, &path, &config)))
+    });
+    group.bench_function("single_flow_engine", |bch| {
+        bch.iter(|| black_box(engine_hosts(10, &path, &config)))
+    });
+    group.bench_function("shared_bottleneck_32_load_flows", |bch| {
+        let cross = CrossTraffic::congested();
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(run_connection_under_load(
+                ClientConfig::paper_default("bench.example"),
+                ServerBehavior::accurate(),
+                &path,
+                &config,
+                &cross,
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -57,9 +57,7 @@ fn figures(c: &mut Criterion) {
     });
     // The expensive stage behind Figure 3: one full monthly snapshot.
     group.bench_function("monthly_snapshot_scan", |b| {
-        b.iter(|| {
-            black_box(campaign.run_longitudinal(&[SnapshotDate::FEB_2023], &options))
-        })
+        b.iter(|| black_box(campaign.run_longitudinal(&[SnapshotDate::FEB_2023], &options)))
     });
     group.finish();
 }

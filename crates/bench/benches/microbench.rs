@@ -56,7 +56,9 @@ fn packet_codecs(c: &mut Criterion) {
         ]),
     );
     let encoded = packet.encode();
-    group.bench_function("quic_initial_encode", |b| b.iter(|| black_box(packet.encode())));
+    group.bench_function("quic_initial_encode", |b| {
+        b.iter(|| black_box(packet.encode()))
+    });
     group.bench_function("quic_initial_decode", |b| {
         b.iter(|| black_box(QuicPacket::decode(&encoded, 8).unwrap()))
     });

@@ -5,6 +5,7 @@ use crate::executor::ShardedExecutor;
 use crate::observation::{DomainRecord, HostMeasurement, MirrorUse};
 use crate::scanner::{ProbeMode, ScanOptions, Scanner};
 use crate::vantage::VantagePoint;
+use qem_netsim::CrossTraffic;
 use qem_web::{SnapshotDate, Universe};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -26,6 +27,10 @@ pub struct CampaignOptions {
     pub workers: usize,
     /// Seed.
     pub seed: u64,
+    /// Opt-in shared-bottleneck scenario (background flows through each
+    /// measured host's bottleneck).  Off by default; when off, campaign
+    /// results are bit-identical to the single-flow methodology.
+    pub cross_traffic: CrossTraffic,
 }
 
 impl CampaignOptions {
@@ -41,6 +46,7 @@ impl CampaignOptions {
             trace_sample_probability: 0.2,
             workers: 0,
             seed: 0x1299,
+            cross_traffic: CrossTraffic::none(),
         }
     }
 
@@ -53,6 +59,26 @@ impl CampaignOptions {
         }
     }
 
+    /// The CE-probing run again, but with a congested shared bottleneck in
+    /// front of every measured host: the "what if the queues were actually
+    /// loaded" variant of Figure 6, where CE marking (and hence the ECE/ACK
+    /// echo split) emerges from combined queue occupancy instead of the
+    /// probe codepoint alone.
+    pub fn ce_probing_under_load() -> Self {
+        CampaignOptions {
+            cross_traffic: CrossTraffic::congested(),
+            ..CampaignOptions::ce_probing()
+        }
+    }
+
+    /// Derive a copy with the given cross-traffic scenario.
+    pub fn with_cross_traffic(self, cross_traffic: CrossTraffic) -> Self {
+        CampaignOptions {
+            cross_traffic,
+            ..self
+        }
+    }
+
     fn scan_options(&self, ipv6: bool) -> ScanOptions {
         ScanOptions {
             date: self.date,
@@ -61,6 +87,7 @@ impl CampaignOptions {
             trace_sample_probability: self.trace_sample_probability,
             workers: self.workers,
             seed: self.seed,
+            cross_traffic: self.cross_traffic,
         }
     }
 }
@@ -93,7 +120,9 @@ impl SnapshotMeasurement {
             .iter()
             .enumerate()
             .map(|(idx, domain)| {
-                let host_id = domain.host.filter(|&h| universe.hosts[h].addr(self.ipv6).is_some());
+                let host_id = domain
+                    .host
+                    .filter(|&h| universe.hosts[h].addr(self.ipv6).is_some());
                 let measurement = host_id.and_then(|h| self.hosts.get(&h));
                 let quic = measurement.map(|m| m.quic_reachable).unwrap_or(false);
                 let mirror_use = if quic {
@@ -205,7 +234,11 @@ impl<'a> Campaign<'a> {
         main_v4: &SnapshotMeasurement,
         main_v6: Option<&SnapshotMeasurement>,
         options: &CampaignOptions,
-    ) -> Vec<(VantagePoint, SnapshotMeasurement, Option<SnapshotMeasurement>)> {
+    ) -> Vec<(
+        VantagePoint,
+        SnapshotMeasurement,
+        Option<SnapshotMeasurement>,
+    )> {
         let v4_targets: Vec<usize> = main_v4
             .hosts
             .values()

@@ -207,12 +207,9 @@ impl ShardedExecutor {
                     };
                     while let Ok((shard, start, end)) = shard_rx.recv() {
                         {
-                            let mut state =
-                                frontier.lock().expect("frontier lock poisoned");
+                            let mut state = frontier.lock().expect("frontier lock poisoned");
                             while !state.cancelled && shard >= state.flushed + window {
-                                state = frontier_moved
-                                    .wait(state)
-                                    .expect("frontier lock poisoned");
+                                state = frontier_moved.wait(state).expect("frontier lock poisoned");
                             }
                             if state.cancelled {
                                 return;
@@ -260,8 +257,7 @@ impl ShardedExecutor {
             // panic the buffer may legitimately hold orphans — the scope
             // join below re-raises that panic.
             debug_assert!(
-                pending.is_empty()
-                    || frontier.lock().map(|s| s.cancelled).unwrap_or(true),
+                pending.is_empty() || frontier.lock().map(|s| s.cancelled).unwrap_or(true),
                 "every shard flushes in order"
             );
         });
@@ -305,10 +301,12 @@ mod tests {
     fn every_item_is_processed_exactly_once() {
         let items: Vec<usize> = (0..10_000).collect();
         let calls = AtomicUsize::new(0);
-        let got = ShardedExecutor::new(7).with_batch_size(13).run(&items, |&x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x
-        });
+        let got = ShardedExecutor::new(7)
+            .with_batch_size(13)
+            .run(&items, |&x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x
+            });
         assert_eq!(calls.load(Ordering::Relaxed), items.len());
         assert_eq!(got, items);
     }

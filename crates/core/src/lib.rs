@@ -27,6 +27,7 @@ pub mod vantage;
 pub use campaign::{Campaign, CampaignOptions, CampaignResult, SnapshotMeasurement};
 pub use executor::ShardedExecutor;
 pub use observation::{DomainRecord, EcnClass, HostMeasurement, MirrorUse};
+pub use qem_netsim::CrossTraffic;
 pub use scanner::{ScanOptions, Scanner};
 pub use source::{JoinedSnapshot, SnapshotSource};
 pub use vantage::{CloudProvider, VantagePoint};

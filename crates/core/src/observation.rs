@@ -178,7 +178,11 @@ mod tests {
     #[test]
     fn classes_map_from_validation_outcomes() {
         assert_eq!(
-            EcnClass::classify(&report(true, false, EcnValidationState::Failed(EcnValidationFailure::NoMirroring))),
+            EcnClass::classify(&report(
+                true,
+                false,
+                EcnValidationState::Failed(EcnValidationFailure::NoMirroring)
+            )),
             Some(EcnClass::NoMirroring)
         );
         assert_eq!(
@@ -186,19 +190,35 @@ mod tests {
             Some(EcnClass::Capable)
         );
         assert_eq!(
-            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::Undercount))),
+            EcnClass::classify(&report(
+                true,
+                true,
+                EcnValidationState::Failed(EcnValidationFailure::Undercount)
+            )),
             Some(EcnClass::Undercount)
         );
         assert_eq!(
-            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint))),
+            EcnClass::classify(&report(
+                true,
+                true,
+                EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint)
+            )),
             Some(EcnClass::RemarkEct1)
         );
         assert_eq!(
-            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::AllCe))),
+            EcnClass::classify(&report(
+                true,
+                true,
+                EcnValidationState::Failed(EcnValidationFailure::AllCe)
+            )),
             Some(EcnClass::AllCe)
         );
         assert_eq!(
-            EcnClass::classify(&report(true, true, EcnValidationState::Failed(EcnValidationFailure::NonMonotonic))),
+            EcnClass::classify(&report(
+                true,
+                true,
+                EcnValidationState::Failed(EcnValidationFailure::NonMonotonic)
+            )),
             Some(EcnClass::Other)
         );
     }

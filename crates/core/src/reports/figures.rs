@@ -84,14 +84,18 @@ pub fn figure3<S: SnapshotSource>(universe: &Universe, snapshots: &[S]) -> Figur
             if !record.mirror_use.mirroring {
                 continue;
             }
-            let family = record.host_id.and_then(|h| host_family.get(&h)).and_then(
-                |(family, fp)| {
-                    family.clone().or_else(|| {
-                        fp.and_then(|fp| fingerprint_family.get(&fp).cloned())
-                    })
-                },
-            );
-            *by_family.entry(family_bucket(family.as_deref())).or_default() += 1;
+            let family =
+                record
+                    .host_id
+                    .and_then(|h| host_family.get(&h))
+                    .and_then(|(family, fp)| {
+                        family
+                            .clone()
+                            .or_else(|| fp.and_then(|fp| fingerprint_family.get(&fp).cloned()))
+                    });
+            *by_family
+                .entry(family_bucket(family.as_deref()))
+                .or_default() += 1;
         }
         points.push(Figure3Point {
             date: snapshot.date(),
@@ -268,7 +272,10 @@ impl Figure4 {
 
 impl fmt::Display for Figure4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 4/8: QUIC ECN support transitions over time (com/net/org)")?;
+        writeln!(
+            f,
+            "Figure 4/8: QUIC ECN support transitions over time (com/net/org)"
+        )?;
         for (i, date) in self.dates.iter().enumerate() {
             writeln!(f, "  {date}:")?;
             for (state, count) in &self.states[i] {
@@ -276,7 +283,12 @@ impl fmt::Display for Figure4 {
             }
         }
         for (i, transition) in self.transitions.iter().enumerate() {
-            writeln!(f, "  {} -> {} (flows >= 1% of domains):", self.dates[i], self.dates[i + 1])?;
+            writeln!(
+                f,
+                "  {} -> {} (flows >= 1% of domains):",
+                self.dates[i],
+                self.dates[i + 1]
+            )?;
             let total: u64 = transition.values().sum();
             let mut flows: Vec<_> = transition.iter().collect();
             flows.sort_by(|a, b| b.1.cmp(a.1));
@@ -388,7 +400,10 @@ pub fn figure5<S4: SnapshotSource + ?Sized, S6: SnapshotSource + ?Sized>(
 
 impl fmt::Display for Figure5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 5: IPv4 vs IPv6 visible ECN support (com/net/org)")?;
+        writeln!(
+            f,
+            "Figure 5: IPv4 vs IPv6 visible ECN support (com/net/org)"
+        )?;
         writeln!(f, "  {:<24} {:>12} {:>12}", "Class", "IPv4", "IPv6")?;
         for quadrant in [
             MirrorUseQuadrant::MirroringNoUse,
@@ -538,7 +553,10 @@ pub fn figure6<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) ->
 
 impl fmt::Display for Figure6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6: TCP vs QUIC visible ECN support with CE probing (com/net/org, IPv4)")?;
+        writeln!(
+            f,
+            "Figure 6: TCP vs QUIC visible ECN support with CE probing (com/net/org, IPv4)"
+        )?;
         writeln!(f, "  TCP:")?;
         for (category, count) in &self.tcp {
             writeln!(f, "    {:<40} {:>12}", category.label(), fmt_count(*count))?;

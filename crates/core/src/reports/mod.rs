@@ -15,8 +15,8 @@ pub use figures::{
     Figure5, Figure6, Figure7, Figure7Row, MirrorUseQuadrant, QuicCeCategory, TcpCategory,
 };
 pub use tables::{
-    table1, table2, table3, table4, table5, table6, table7, ClassCount, ProviderRow,
-    ProviderTable, Table1, Table1Row, Table4, Table4Row, Table5, Table6, Table7, Table7Row,
+    table1, table2, table3, table4, table5, table6, table7, ClassCount, ProviderRow, ProviderTable,
+    Table1, Table1Row, Table4, Table4Row, Table5, Table6, Table7, Table7Row,
 };
 
 /// Format a count with thousands separators (tables in the paper use `k`/`M`

@@ -138,7 +138,13 @@ pub fn table1<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
                 }
             }
         }
-        let pct = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let pct = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         rows.push(Table1Row {
             scope: scope.label(),
             unit: "Domains",
@@ -425,11 +431,19 @@ pub fn table4<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
         }
     }
     let mut rows: Vec<Table4Row> = per_org.into_values().collect();
-    rows.sort_by(|a, b| b.cleared.cmp(&a.cleared).then(b.not_cleared.cmp(&a.not_cleared)));
+    rows.sort_by(|a, b| {
+        b.cleared
+            .cmp(&a.cleared)
+            .then(b.not_cleared.cmp(&a.not_cleared))
+    });
     Table4 {
         rows,
         totals,
-        total_ips: (ips[0].len() as u64, ips[1].len() as u64, ips[2].len() as u64),
+        total_ips: (
+            ips[0].len() as u64,
+            ips[1].len() as u64,
+            ips[2].len() as u64,
+        ),
     }
 }
 
@@ -523,14 +537,12 @@ fn classify_snapshot<S: SnapshotSource + ?Sized>(
 }
 
 /// Build Table 5 from the main IPv4 snapshot and the optional IPv6 snapshot.
-pub fn table5<S: SnapshotSource + ?Sized>(
-    universe: &Universe,
-    v4: &S,
-    v6: Option<&S>,
-) -> Table5 {
+pub fn table5<S: SnapshotSource + ?Sized>(universe: &Universe, v4: &S, v6: Option<&S>) -> Table5 {
     Table5 {
         v4: classify_snapshot(universe, v4),
-        v6: v6.map(|s| classify_snapshot(universe, s)).unwrap_or_default(),
+        v6: v6
+            .map(|s| classify_snapshot(universe, s))
+            .unwrap_or_default(),
     }
 }
 
@@ -635,8 +647,15 @@ impl Table6 {
 
 impl fmt::Display for Table6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 6: AS organisations per validation class (IPv4, com/net/org)")?;
-        for class in [EcnClass::Capable, EcnClass::Undercount, EcnClass::RemarkEct1] {
+        writeln!(
+            f,
+            "Table 6: AS organisations per validation class (IPv4, com/net/org)"
+        )?;
+        for class in [
+            EcnClass::Capable,
+            EcnClass::Undercount,
+            EcnClass::RemarkEct1,
+        ] {
             writeln!(f, "  {}:", class.label())?;
             if let Some(rows) = self.columns.get(&class) {
                 for (org, count) in rows {
@@ -695,11 +714,16 @@ pub fn table7<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
         let column = match verdict {
             Some(PathVerdict::RemarkedToEct1) => 0u8,
             Some(PathVerdict::Cleared) => 1u8,
-            Some(PathVerdict::NoChange) | Some(PathVerdict::RemarkedToEct0)
+            Some(PathVerdict::NoChange)
+            | Some(PathVerdict::RemarkedToEct0)
             | Some(PathVerdict::CeMarked) => 2u8,
             None | Some(PathVerdict::Untested) => 3u8,
         };
-        let row = if class == 0 { &mut remarking } else { &mut undercount };
+        let row = if class == 0 {
+            &mut remarking
+        } else {
+            &mut undercount
+        };
         let cell = match column {
             0 => &mut row.remarked_to_ect1,
             1 => &mut row.cleared_to_not_ect,
@@ -710,7 +734,11 @@ pub fn table7<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
         ip_sets.entry((class, column)).or_default().insert(host);
     }
     for ((class, column), hosts) in ip_sets {
-        let row = if class == 0 { &mut remarking } else { &mut undercount };
+        let row = if class == 0 {
+            &mut remarking
+        } else {
+            &mut undercount
+        };
         let cell = match column {
             0 => &mut row.remarked_to_ect1,
             1 => &mut row.cleared_to_not_ect,
@@ -733,7 +761,10 @@ impl fmt::Display for Table7 {
              {:<14} {:>20} {:>16} {:>14} {:>14}",
             "", "ECT(0)->ECT(1)", "not-ECT", "ECT(0)", "not tested"
         )?;
-        for (label, row) in [("Re-Marking", &self.remarking), ("Undercount", &self.undercount)] {
+        for (label, row) in [
+            ("Re-Marking", &self.remarking),
+            ("Undercount", &self.undercount),
+        ] {
             writeln!(
                 f,
                 "{:<14} {:>20} {:>16} {:>14} {:>14}",

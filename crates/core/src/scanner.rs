@@ -10,10 +10,10 @@
 use crate::executor::ShardedExecutor;
 use crate::observation::{EcnClass, HostMeasurement};
 use crate::vantage::VantagePoint;
-use qem_netsim::{build_duplex_path, Asn, DuplexPath, TransitProfile};
+use qem_netsim::{build_duplex_path, Asn, CrossTraffic, DuplexPath, TransitProfile};
 use qem_quic::behavior::EcnMirroringBehavior;
-use qem_quic::{run_connection, ClientConfig, DriverConfig, EcnConfig};
-use qem_tcp::{run_tcp_connection, TcpClientConfig};
+use qem_quic::{run_connection, run_connection_under_load, ClientConfig, DriverConfig, EcnConfig};
+use qem_tcp::{run_tcp_connection, run_tcp_connection_under_load, TcpClientConfig};
 use qem_tracebox::{analyze_trace, trace_path, TraceConfig};
 use qem_web::{SnapshotDate, StackProfile, Universe};
 use rand::rngs::StdRng;
@@ -45,6 +45,11 @@ pub struct ScanOptions {
     pub workers: usize,
     /// Seed for all per-host randomness.
     pub seed: u64,
+    /// Opt-in shared-bottleneck scenario: background flows through each
+    /// measured host's bottleneck router.  [`CrossTraffic::none()`] (the
+    /// default everywhere) keeps the scan bit-identical to the single-flow
+    /// methodology.
+    pub cross_traffic: CrossTraffic,
 }
 
 impl ScanOptions {
@@ -61,6 +66,7 @@ impl ScanOptions {
             trace_sample_probability: 0.2,
             workers: 0,
             seed: 0x5eed,
+            cross_traffic: CrossTraffic::none(),
         }
     }
 
@@ -172,7 +178,19 @@ impl<'a> Scanner<'a> {
                 ProbeMode::ForceCe => ClientConfig::force_ce(&sni),
             };
             let driver = DriverConfig::new(client_addr, server_addr);
-            run_connection(client_config, behavior, &path, &driver, &mut rng).report
+            if self.options.cross_traffic.is_enabled() {
+                run_connection_under_load(
+                    client_config,
+                    behavior,
+                    &path,
+                    &driver,
+                    &self.options.cross_traffic,
+                    &mut rng,
+                )
+            } else {
+                run_connection(client_config, behavior, &path, &driver, &mut rng)
+            }
+            .report
         });
         let quic_reachable = quic_report
             .as_ref()
@@ -184,14 +202,26 @@ impl<'a> Scanner<'a> {
             ProbeMode::Ect0 => TcpClientConfig::ect0(),
             ProbeMode::ForceCe => TcpClientConfig::force_ce(),
         };
-        let tcp_report = Some(run_tcp_connection(
-            tcp_config,
-            host.tcp_behavior(),
-            client_addr,
-            server_addr,
-            &path,
-            &mut rng,
-        ));
+        let tcp_report = Some(if self.options.cross_traffic.is_enabled() {
+            run_tcp_connection_under_load(
+                tcp_config,
+                host.tcp_behavior(),
+                client_addr,
+                server_addr,
+                &path,
+                &self.options.cross_traffic,
+                &mut rng,
+            )
+        } else {
+            run_tcp_connection(
+                tcp_config,
+                host.tcp_behavior(),
+                client_addr,
+                server_addr,
+                &path,
+                &mut rng,
+            )
+        });
 
         // ---- Tracebox (sampled, only on abnormal behaviour) ----------------
         let abnormal = match quic_report.as_ref().and_then(EcnClass::classify) {
@@ -266,7 +296,13 @@ impl<'a> Scanner<'a> {
                 _ => {}
             }
         }
-        build_duplex_path(self.vantage.asn, host.asn, transit, TransitProfile::Clean, v6)
+        build_duplex_path(
+            self.vantage.asn,
+            host.asn,
+            transit,
+            TransitProfile::Clean,
+            v6,
+        )
     }
 
     /// The QUIC behaviour of the host at the scan date, after location quirks.
@@ -426,9 +462,7 @@ mod tests {
         let host = universe
             .hosts
             .iter()
-            .find(|h| {
-                matches!(h.transit_v4, TransitProfile::Clearing { .. }) && h.stack.is_some()
-            })
+            .find(|h| matches!(h.transit_v4, TransitProfile::Clearing { .. }) && h.stack.is_some())
             .unwrap();
         let m = scanner.measure_host(host.id);
         assert_eq!(m.ecn_class(), Some(EcnClass::NoMirroring));

@@ -75,7 +75,9 @@ pub trait SnapshotSource {
             .iter()
             .enumerate()
             .map(|(idx, domain)| {
-                let host_id = domain.host.filter(|&h| universe.hosts[h].addr(ipv6).is_some());
+                let host_id = domain
+                    .host
+                    .filter(|&h| universe.hosts[h].addr(ipv6).is_some());
                 let summary = host_id.and_then(|h| summaries.get(&h));
                 let quic = summary.map(|s| s.0).unwrap_or(false);
                 let mirror_use = if quic {
@@ -83,7 +85,11 @@ pub trait SnapshotSource {
                 } else {
                     MirrorUse::default()
                 };
-                let class = if quic { summary.and_then(|s| s.2) } else { None };
+                let class = if quic {
+                    summary.and_then(|s| s.2)
+                } else {
+                    None
+                };
                 DomainRecord {
                     domain_idx: idx,
                     resolved: host_id.is_some(),
@@ -200,8 +206,7 @@ mod tests {
     #[test]
     fn streaming_join_matches_random_access_join() {
         let universe = Universe::generate(&UniverseConfig::tiny());
-        let result =
-            Campaign::new(&universe).run_main(&CampaignOptions::paper_default(), false);
+        let result = Campaign::new(&universe).run_main(&CampaignOptions::paper_default(), false);
         // Route the default (streaming) implementation through a thin wrapper
         // so it cannot fall back to the specialised SnapshotMeasurement impl.
         struct Stream<'a>(&'a SnapshotMeasurement);
@@ -221,17 +226,25 @@ mod tests {
         }
         let streamed = Stream(&result.v4).domain_records(&universe);
         assert_eq!(streamed, result.v4.domain_records(&universe));
-        assert_eq!(Stream(&result.v4).quic_host_count(), result.v4.quic_host_count());
+        assert_eq!(
+            Stream(&result.v4).quic_host_count(),
+            result.v4.quic_host_count()
+        );
         assert_eq!(Stream(&result.v4).host_count(), result.v4.hosts.len());
     }
 
     #[test]
     fn joined_snapshot_serves_the_same_records() {
         let universe = Universe::generate(&UniverseConfig::tiny());
-        let result =
-            Campaign::new(&universe).run_main(&CampaignOptions::paper_default(), false);
+        let result = Campaign::new(&universe).run_main(&CampaignOptions::paper_default(), false);
         let joined = JoinedSnapshot::new(&universe, &result.v4);
-        assert_eq!(joined.records(), result.v4.domain_records(&universe).as_slice());
-        assert_eq!(joined.domain_records(&universe), result.v4.domain_records(&universe));
+        assert_eq!(
+            joined.records(),
+            result.v4.domain_records(&universe).as_slice()
+        );
+        assert_eq!(
+            joined.domain_records(&universe),
+            result.v4.domain_records(&universe)
+        );
     }
 }

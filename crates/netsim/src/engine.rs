@@ -1,0 +1,825 @@
+//! A discrete-event simulation engine driving many concurrent flows over a
+//! shared topology.
+//!
+//! The per-connection drivers (`qem_quic::driver`, `qem_tcp`) each step a
+//! private path: no two flows ever share a queue, so AQM marking probability
+//! is a per-flow constant rather than an emergent property of congestion.
+//! This module adds the missing piece, in three layers:
+//!
+//! * [`EventQueue`] — a binary heap of `(SimInstant, EventId)` with
+//!   deterministic FIFO tie-breaking: two events scheduled for the same
+//!   instant fire in the order they were scheduled, on every run, on every
+//!   machine.
+//! * [`SharedQueues`] — real egress queues attached to routers by
+//!   [`RouterId`].  Packets from *all* flows crossing a registered router
+//!   occupy the same queue; [`OccupancyAqm`](crate::aqm::OccupancyAqm) marks
+//!   CE based on the combined occupancy, so congestion experienced by one
+//!   flow is caused by the others — the load-dependent regime of the paper's
+//!   §6.2/§6.3 findings.
+//! * [`Engine`] — the scheduler that owns virtual time and wakes sans-IO
+//!   [`Flow`]s.  A flow does whatever work it can at the current instant
+//!   (transmit, receive, time out) and either asks to sleep until its next
+//!   timer or declares itself done.
+//!
+//! Single-flow wrappers (`run_connection`, `run_tcp_connection`) run a
+//! one-flow engine with **no** registered queues; in that configuration the
+//! shared-queue hooks consume no randomness and add no delay, so legacy
+//! callers get bit-identical results.
+
+use crate::aqm::{AqmDecision, OccupancyAqm};
+use crate::path::Path;
+use crate::router::RouterId;
+use crate::time::{SimDuration, SimInstant};
+use qem_packet::ecn::EcnCodepoint;
+use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::net::IpAddr;
+
+// ---------------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------------
+
+/// Identifier of a scheduled event, unique within one [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+/// A popped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event<T> {
+    /// When the event fires.
+    pub at: SimInstant,
+    /// The event's id (also its FIFO sequence number).
+    pub id: EventId,
+    /// The caller-supplied payload.
+    pub payload: T,
+}
+
+#[derive(Debug)]
+struct Scheduled<T> {
+    at: SimInstant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Primary: fire time.  Tie-break: schedule order (FIFO) — the
+        // property the determinism gate leans on.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A binary-heap event queue over virtual time with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    next_seq: u64,
+    now: SimInstant,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue starting at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimInstant::EPOCH,
+        }
+    }
+
+    /// The current virtual time (the fire time of the last popped event).
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Fire time of the next pending event.
+    pub fn peek_at(&self) -> Option<SimInstant> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Schedule `payload` at `at` (clamped to the present: events cannot
+    /// fire in the past).
+    pub fn schedule_at(&mut self, at: SimInstant, payload: T) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at: at.max(self.now),
+            seq,
+            payload,
+        }));
+        EventId(seq)
+    }
+
+    /// Schedule `payload` after `delay` from the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: T) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, payload)
+    }
+
+    /// Pop the next event, advancing virtual time to its fire time.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let Reverse(scheduled) = self.heap.pop()?;
+        self.now = self.now.max(scheduled.at);
+        Some(Event {
+            at: scheduled.at,
+            id: EventId(scheduled.seq),
+            payload: scheduled.payload,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared router egress queues
+// ---------------------------------------------------------------------------
+
+/// Configuration of one shared router egress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Maximum number of queued packets; arrivals beyond it are dropped.
+    pub capacity: usize,
+    /// Occupancy-driven CE marking law.
+    pub aqm: OccupancyAqm,
+    /// Serialization time per packet (the drain rate of the queue).
+    pub service_time: SimDuration,
+}
+
+impl QueueConfig {
+    /// A bottleneck queue with RED-style thresholds at `min`/`max` packets.
+    pub fn bottleneck(capacity: usize, min: usize, max: usize) -> Self {
+        QueueConfig {
+            capacity,
+            aqm: OccupancyAqm {
+                min_thresh: min,
+                max_thresh: max,
+            },
+            service_time: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// Running counters of one shared queue, for tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Packets admitted to the queue.
+    pub enqueued: u64,
+    /// Packets that left with a CE mark applied by this queue.
+    pub marked: u64,
+    /// Packets dropped (tail drop or AQM drop of not-ECT traffic).
+    pub dropped: u64,
+    /// Highest occupancy observed at any admission.
+    pub peak_occupancy: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    config: QueueConfig,
+    /// Departure times of the packets currently in the queue.
+    departures: BinaryHeap<Reverse<SimInstant>>,
+    /// Departure time of the most recently admitted packet.
+    last_departure: SimInstant,
+    stats: QueueStats,
+}
+
+impl QueueState {
+    fn drain(&mut self, now: SimInstant) {
+        while let Some(Reverse(at)) = self.departures.peek() {
+            if *at <= now {
+                self.departures.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The shared egress queues of a topology, keyed by router.
+///
+/// Only routers explicitly registered here queue packets; everything else
+/// forwards as before.  An empty `SharedQueues` is the legacy behaviour.
+#[derive(Debug, Default)]
+pub struct SharedQueues {
+    queues: BTreeMap<RouterId, QueueState>,
+}
+
+impl SharedQueues {
+    /// No shared queues: every hop forwards exactly as the plain path
+    /// simulator does, with zero extra randomness.
+    pub fn new() -> Self {
+        SharedQueues::default()
+    }
+
+    /// Attach a shared egress queue to `router`.
+    pub fn register(&mut self, router: RouterId, config: QueueConfig) {
+        self.queues.insert(
+            router,
+            QueueState {
+                config,
+                departures: BinaryHeap::new(),
+                last_departure: SimInstant::EPOCH,
+                stats: QueueStats::default(),
+            },
+        );
+    }
+
+    /// Whether no queue is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Whether `router` has a registered queue.
+    pub fn has(&self, router: RouterId) -> bool {
+        self.queues.contains_key(&router)
+    }
+
+    /// Current occupancy of `router`'s queue at `now` (after draining
+    /// departed packets).
+    pub fn occupancy(&mut self, router: RouterId, now: SimInstant) -> usize {
+        match self.queues.get_mut(&router) {
+            Some(state) => {
+                state.drain(now);
+                state.departures.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Counters of `router`'s queue.
+    pub fn stats(&self, router: RouterId) -> Option<QueueStats> {
+        self.queues.get(&router).map(|s| s.stats)
+    }
+
+    /// Pass a packet carrying `ecn` through `router`'s egress queue at `now`.
+    ///
+    /// Returns the AQM decision plus the queueing delay the packet picks up
+    /// waiting for service.  Routers without a registered queue forward
+    /// unchanged, instantly, consuming no randomness.
+    pub fn admit<R: Rng + ?Sized>(
+        &mut self,
+        router: RouterId,
+        now: SimInstant,
+        ecn: EcnCodepoint,
+        rng: &mut R,
+    ) -> (AqmDecision, SimDuration) {
+        let Some(state) = self.queues.get_mut(&router) else {
+            return (AqmDecision::Forward(ecn), SimDuration::ZERO);
+        };
+        state.drain(now);
+        let occupancy = state.departures.len();
+        state.stats.peak_occupancy = state.stats.peak_occupancy.max(occupancy);
+        if occupancy >= state.config.capacity {
+            state.stats.dropped += 1;
+            return (AqmDecision::Drop, SimDuration::ZERO);
+        }
+        let decision = state.config.aqm.apply(ecn, occupancy, rng);
+        if decision == AqmDecision::Drop {
+            state.stats.dropped += 1;
+            return (AqmDecision::Drop, SimDuration::ZERO);
+        }
+        let start = state.last_departure.max(now);
+        let departure = start + state.config.service_time;
+        state.departures.push(Reverse(departure));
+        state.last_departure = departure;
+        state.stats.enqueued += 1;
+        if decision == AqmDecision::Forward(EcnCodepoint::Ce) && ecn != EcnCodepoint::Ce {
+            state.stats.marked += 1;
+        }
+        (decision, departure - now)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flows and the engine
+// ---------------------------------------------------------------------------
+
+/// What a [`Flow`] wants after being woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStatus {
+    /// Wake the flow again at (or after) the given instant.
+    Sleep(SimInstant),
+    /// The flow has finished; never wake it again.
+    Done,
+}
+
+/// A sans-IO participant of the simulation.
+///
+/// A flow owns its endpoints and its randomness; the engine owns time.  On
+/// each wake the flow performs all work possible at the current instant —
+/// transmitting through (shared-queue aware) paths, delivering, handling
+/// timeouts — and returns when it next needs the clock.
+pub trait Flow {
+    /// Wake the flow at `now` with access to the shared queues.
+    fn on_wake(&mut self, now: SimInstant, net: &mut SharedQueues) -> FlowStatus;
+}
+
+/// One entry of the engine's event-order log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowWake {
+    /// Virtual time of the wake.
+    pub at: SimInstant,
+    /// Index of the woken flow (in registration order).
+    pub flow: usize,
+}
+
+/// The discrete-event scheduler: owns virtual time, the shared queues and
+/// the event heap, and drives registered flows to completion.
+pub struct Engine<'a> {
+    queue: EventQueue<usize>,
+    flows: Vec<&'a mut dyn Flow>,
+    shared: SharedQueues,
+    log: Vec<FlowWake>,
+    max_events: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine over the given shared queues.
+    pub fn new(shared: SharedQueues) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            flows: Vec::new(),
+            shared,
+            log: Vec::new(),
+            max_events: 10_000_000,
+        }
+    }
+
+    /// Cap the number of events processed (a livelock guard; the default is
+    /// ten million).
+    pub fn with_max_events(mut self, max_events: usize) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Register a flow to start at the epoch.  Flows registered earlier wake
+    /// first on ties.
+    pub fn add_flow(&mut self, flow: &'a mut dyn Flow) -> usize {
+        self.add_flow_at(SimInstant::EPOCH, flow)
+    }
+
+    /// Register a flow to start at `start`.
+    pub fn add_flow_at(&mut self, start: SimInstant, flow: &'a mut dyn Flow) -> usize {
+        let index = self.flows.len();
+        self.flows.push(flow);
+        self.queue.schedule_at(start, index);
+        index
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.queue.now()
+    }
+
+    /// The shared queues (e.g. to read [`QueueStats`] after a run).
+    pub fn shared(&self) -> &SharedQueues {
+        &self.shared
+    }
+
+    /// The order in which flows were woken — identical across runs for
+    /// identical inputs, which the determinism gate asserts.
+    pub fn event_log(&self) -> &[FlowWake] {
+        &self.log
+    }
+
+    /// Run until every flow is done (or the event cap is hit).
+    pub fn run(&mut self) {
+        let mut processed = 0usize;
+        while let Some(event) = self.queue.pop() {
+            processed += 1;
+            if processed > self.max_events {
+                break;
+            }
+            let index = event.payload;
+            self.log.push(FlowWake {
+                at: event.at,
+                flow: index,
+            });
+            match self.flows[index].on_wake(event.at, &mut self.shared) {
+                FlowStatus::Sleep(at) => {
+                    self.queue.schedule_at(at, index);
+                }
+                FlowStatus::Done => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross traffic
+// ---------------------------------------------------------------------------
+
+/// An opt-in background-load scenario: `flows` paced flows pushing packets
+/// through the measured path's bottleneck router, which gets a shared egress
+/// queue.  With enough background load the queue occupancy crosses the AQM
+/// thresholds and the *measured* flow starts seeing CE marks — marking
+/// becomes a property of congestion instead of a per-flow constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossTraffic {
+    /// Number of background flows; `0` disables the scenario entirely.
+    pub flows: u32,
+    /// Packets each background flow sends before stopping.
+    pub packets_per_flow: u32,
+    /// Pacing interval between packets of one background flow.
+    pub interval: SimDuration,
+    /// Bottleneck queue capacity in packets.
+    pub queue_capacity: u32,
+    /// Occupancy at which CE marking begins.
+    pub mark_min_thresh: u32,
+    /// Occupancy at which every ECT packet is marked.
+    pub mark_max_thresh: u32,
+    /// Serialization time per packet at the bottleneck.
+    pub service_time: SimDuration,
+}
+
+impl CrossTraffic {
+    /// No cross traffic: the legacy single-flow behaviour, bit for bit.
+    pub fn none() -> Self {
+        CrossTraffic {
+            flows: 0,
+            packets_per_flow: 0,
+            interval: SimDuration::ZERO,
+            queue_capacity: 0,
+            mark_min_thresh: 0,
+            mark_max_thresh: 0,
+            service_time: SimDuration::ZERO,
+        }
+    }
+
+    /// A congested bottleneck: 32 background flows arriving well above the
+    /// service rate, so the queue sits in the certain-marking region while
+    /// the measured connection runs.
+    pub fn congested() -> Self {
+        CrossTraffic {
+            flows: 32,
+            packets_per_flow: 64,
+            interval: SimDuration::from_millis(1),
+            queue_capacity: 256,
+            mark_min_thresh: 8,
+            mark_max_thresh: 24,
+            service_time: SimDuration::from_micros(500),
+        }
+    }
+
+    /// Whether the scenario is active.
+    pub fn is_enabled(&self) -> bool {
+        self.flows > 0
+    }
+
+    /// The queue configuration for the bottleneck router.
+    pub fn queue_config(&self) -> QueueConfig {
+        QueueConfig {
+            capacity: self.queue_capacity as usize,
+            aqm: OccupancyAqm {
+                min_thresh: self.mark_min_thresh as usize,
+                max_thresh: self.mark_max_thresh as usize,
+            },
+            service_time: self.service_time,
+        }
+    }
+
+    /// The bottleneck of a forward path: its last hop — the egress into the
+    /// destination network, which all traffic towards the measured host
+    /// shares.
+    pub fn bottleneck_of(path: &Path) -> Option<RouterId> {
+        path.hops.last().map(|hop| hop.router.id)
+    }
+
+    /// Build the shared queues and background flows for a measured forward
+    /// path.  Returns `None` when disabled or when the path has no hops.
+    pub fn instantiate(&self, forward: &Path, seed: u64) -> Option<(SharedQueues, Vec<LoadFlow>)> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let bottleneck = Self::bottleneck_of(forward)?;
+        let hop = forward.hops.last()?.clone();
+        let mut queues = SharedQueues::new();
+        queues.register(bottleneck, self.queue_config());
+        let load_path = Path::new(vec![hop]);
+        let flows = (0..self.flows)
+            .map(|i| {
+                LoadFlow::new(
+                    load_path.clone(),
+                    self.packets_per_flow as u64,
+                    self.interval,
+                    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(u64::from(i)),
+                )
+            })
+            .collect();
+        Some((queues, flows))
+    }
+}
+
+/// A background load generator: a flow that pushes ECT(0)-marked UDP
+/// datagrams down a (typically one-hop) path on a fixed pacing schedule.
+///
+/// Load flows are what make shared queues *shared*: their packets occupy the
+/// same egress queue as the measured connection's.
+#[derive(Debug)]
+pub struct LoadFlow {
+    path: Path,
+    packets: u64,
+    interval: SimDuration,
+    rng: StdRng,
+    sent: u64,
+    delivered: u64,
+}
+
+impl LoadFlow {
+    /// A load flow sending `packets` datagrams, one every `interval`.
+    pub fn new(path: Path, packets: u64, interval: SimDuration, seed: u64) -> Self {
+        LoadFlow {
+            path,
+            packets,
+            interval,
+            rng: StdRng::seed_from_u64(seed),
+            sent: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets that made it through the path (not dropped by the queue).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn datagram(&self) -> IpDatagram {
+        // Benchmarking address range (RFC 2544): never collides with
+        // simulated vantage points or servers.
+        let header = match self.path.hops.first().map(|h| h.router.address) {
+            Some(IpAddr::V6(_)) => IpHeader::V6(
+                Ipv6Header::new(
+                    "2001:db8:bbbb::1".parse().expect("static addr"),
+                    "2001:db8:bbbb::2".parse().expect("static addr"),
+                    IpProtocol::Udp,
+                    64,
+                )
+                .with_ecn(EcnCodepoint::Ect0),
+            ),
+            _ => IpHeader::V4(
+                Ipv4Header::new(
+                    std::net::Ipv4Addr::new(198, 18, 0, 1),
+                    std::net::Ipv4Addr::new(198, 19, 0, 1),
+                    IpProtocol::Udp,
+                    64,
+                )
+                .with_ecn(EcnCodepoint::Ect0),
+            ),
+        };
+        IpDatagram::new(header, vec![0u8; 64])
+    }
+}
+
+impl Flow for LoadFlow {
+    fn on_wake(&mut self, now: SimInstant, net: &mut SharedQueues) -> FlowStatus {
+        if self.sent >= self.packets {
+            return FlowStatus::Done;
+        }
+        let datagram = self.datagram();
+        if self
+            .path
+            .transit_shared(&datagram, now, &mut self.rng, net)
+            .is_delivered()
+        {
+            self.delivered += 1;
+        }
+        self.sent += 1;
+        if self.sent >= self.packets {
+            FlowStatus::Done
+        } else {
+            FlowStatus::Sleep(now + self.interval)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Router;
+    use crate::topology::Asn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn event_queue_orders_by_time_then_fifo() {
+        let mut queue = EventQueue::new();
+        let t1 = SimInstant::EPOCH + SimDuration::from_millis(1);
+        queue.schedule_at(t1, "b");
+        queue.schedule_at(SimInstant::EPOCH, "a");
+        queue.schedule_at(t1, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, ["a", "b", "c"], "same-instant events must be FIFO");
+    }
+
+    #[test]
+    fn event_queue_clamps_past_events_to_now() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(SimInstant::EPOCH + SimDuration::from_millis(5), ());
+        queue.pop().unwrap();
+        queue.schedule_at(SimInstant::EPOCH, ());
+        let event = queue.pop().unwrap();
+        assert_eq!(event.at, SimInstant::EPOCH + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn unregistered_router_forwards_without_randomness() {
+        let mut queues = SharedQueues::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let before: u64 = rng.gen();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (decision, wait) =
+            queues.admit(RouterId(9), SimInstant::EPOCH, EcnCodepoint::Ect0, &mut rng);
+        assert_eq!(decision, AqmDecision::Forward(EcnCodepoint::Ect0));
+        assert_eq!(wait, SimDuration::ZERO);
+        assert_eq!(rng.gen::<u64>(), before, "no rng draw on unshared hops");
+    }
+
+    #[test]
+    fn queue_occupancy_drains_over_time() {
+        let mut queues = SharedQueues::new();
+        queues.register(RouterId(1), QueueConfig::bottleneck(8, 4, 6));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..3 {
+            queues.admit(RouterId(1), SimInstant::EPOCH, EcnCodepoint::Ect0, &mut rng);
+        }
+        assert_eq!(queues.occupancy(RouterId(1), SimInstant::EPOCH), 3);
+        // Service time is 500 µs per packet; after 2 ms all three are gone.
+        let later = SimInstant::EPOCH + SimDuration::from_millis(2);
+        assert_eq!(queues.occupancy(RouterId(1), later), 0);
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        let mut queues = SharedQueues::new();
+        queues.register(RouterId(1), QueueConfig::bottleneck(2, 100, 200));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut outcomes = Vec::new();
+        for _ in 0..3 {
+            let (d, _) = queues.admit(RouterId(1), SimInstant::EPOCH, EcnCodepoint::Ect0, &mut rng);
+            outcomes.push(d);
+        }
+        assert_eq!(outcomes[0], AqmDecision::Forward(EcnCodepoint::Ect0));
+        assert_eq!(outcomes[1], AqmDecision::Forward(EcnCodepoint::Ect0));
+        assert_eq!(outcomes[2], AqmDecision::Drop);
+        assert_eq!(queues.stats(RouterId(1)).unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn occupancy_above_max_thresh_marks_every_ect_packet() {
+        let mut queues = SharedQueues::new();
+        queues.register(RouterId(1), QueueConfig::bottleneck(32, 2, 4));
+        let mut rng = StdRng::seed_from_u64(1);
+        // Fill past the max threshold…
+        for _ in 0..4 {
+            queues.admit(RouterId(1), SimInstant::EPOCH, EcnCodepoint::Ect0, &mut rng);
+        }
+        // …then every further ECT packet is deterministically marked.
+        let (decision, _) =
+            queues.admit(RouterId(1), SimInstant::EPOCH, EcnCodepoint::Ect0, &mut rng);
+        assert_eq!(decision, AqmDecision::Forward(EcnCodepoint::Ce));
+        assert!(queues.stats(RouterId(1)).unwrap().marked >= 1);
+    }
+
+    #[test]
+    fn load_flows_share_a_bottleneck_and_mark_each_other() {
+        let hop = crate::path::Hop::new(Router::transparent(1, Asn(680)));
+        let path = Path::new(vec![hop]);
+        let cross = CrossTraffic {
+            flows: 2,
+            packets_per_flow: 16,
+            interval: SimDuration::from_micros(100),
+            queue_capacity: 64,
+            mark_min_thresh: 1,
+            mark_max_thresh: 2,
+            service_time: SimDuration::from_millis(1),
+        };
+        let (queues, mut flows) = cross.instantiate(&path, 7).expect("enabled scenario");
+        let mut engine = Engine::new(queues);
+        for flow in flows.iter_mut() {
+            engine.add_flow(flow);
+        }
+        engine.run();
+        let stats = engine
+            .shared()
+            .stats(RouterId(1))
+            .expect("registered queue");
+        assert!(stats.marked > 0, "combined occupancy must trigger CE marks");
+
+        // A single flow paced slower than the drain rate never crosses the
+        // marking threshold: congestion needs company.
+        let mut queues = SharedQueues::new();
+        queues.register(RouterId(1), cross.queue_config());
+        let mut solo = LoadFlow::new(path.clone(), 16, SimDuration::from_millis(2), 7);
+        let mut engine = Engine::new(queues);
+        engine.add_flow(&mut solo);
+        engine.run();
+        let stats = engine
+            .shared()
+            .stats(RouterId(1))
+            .expect("registered queue");
+        assert_eq!(stats.marked, 0, "a lone slow flow must not be marked");
+    }
+
+    #[test]
+    fn reverse_direction_hops_do_not_share_the_forward_queue() {
+        use crate::path::DuplexPath;
+        use crate::topology::{build_duplex_path, TransitProfile};
+
+        // Both directions of a duplex path are numbered from 1 by their
+        // builders; the reverse-direction bit must keep them out of each
+        // other's queues.
+        let duplex = build_duplex_path(
+            Asn(680),
+            Asn(16509),
+            TransitProfile::Clean,
+            TransitProfile::Clean,
+            false,
+        );
+        let forward_bottleneck = CrossTraffic::bottleneck_of(&duplex.forward).unwrap();
+        for hop in &duplex.reverse.hops {
+            assert_ne!(
+                hop.router.id, forward_bottleneck,
+                "reverse hop collides with the forward bottleneck id"
+            );
+        }
+
+        // Same for the mirrored-reverse constructor.
+        let hop = crate::path::Hop::new(Router::transparent(1, Asn(680)));
+        let mirrored = DuplexPath::symmetric_clean_reverse(Path::new(vec![hop]));
+        let mut queues = SharedQueues::new();
+        queues.register(
+            CrossTraffic::bottleneck_of(&mirrored.forward).unwrap(),
+            QueueConfig::bottleneck(8, 1, 2),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let dgram = LoadFlow::new(mirrored.forward.clone(), 1, SimDuration::ZERO, 1).datagram();
+        // Forward transits occupy the queue…
+        mirrored
+            .forward
+            .transit_shared(&dgram, SimInstant::EPOCH, &mut rng, &mut queues);
+        assert_eq!(queues.stats(RouterId(1)).unwrap().enqueued, 1);
+        // …reverse transits of the "same" router do not.
+        mirrored
+            .reverse
+            .transit_shared(&dgram, SimInstant::EPOCH, &mut rng, &mut queues);
+        assert_eq!(
+            queues.stats(RouterId(1)).unwrap().enqueued,
+            1,
+            "reverse direction must use its own egress queue"
+        );
+    }
+
+    #[test]
+    fn engine_event_order_is_reproducible() {
+        let run = || {
+            let hop = crate::path::Hop::new(Router::transparent(3, Asn(1299)));
+            let path = Path::new(vec![hop]);
+            let cross = CrossTraffic::congested();
+            let (queues, mut flows) = cross.instantiate(&path, 42).expect("enabled");
+            let mut engine = Engine::new(queues);
+            for flow in flows.iter_mut() {
+                engine.add_flow(flow);
+            }
+            engine.run();
+            engine.event_log().to_vec()
+        };
+        let first = run();
+        let second = run();
+        assert!(!first.is_empty());
+        assert_eq!(first, second, "event order must be identical across runs");
+    }
+}

@@ -28,13 +28,18 @@
 #![warn(missing_docs)]
 
 pub mod aqm;
+pub mod engine;
 pub mod path;
 pub mod policy;
 pub mod router;
 pub mod time;
 pub mod topology;
 
-pub use aqm::{AqmConfig, AqmKind};
+pub use aqm::{AqmConfig, AqmKind, OccupancyAqm};
+pub use engine::{
+    CrossTraffic, Engine, EventId, EventQueue, Flow, FlowStatus, FlowWake, LoadFlow, QueueConfig,
+    QueueStats, SharedQueues,
+};
 pub use path::{DuplexPath, Hop, Path, TransitOutcome};
 pub use policy::{DscpPolicy, EcnPolicy};
 pub use router::{IcmpBehavior, Router, RouterId};

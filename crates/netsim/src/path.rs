@@ -1,8 +1,9 @@
 //! Forwarding paths: ordered router hops that forward, rewrite, drop or
 //! answer packets with ICMP.
 
+use crate::engine::SharedQueues;
 use crate::router::Router;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimInstant};
 use qem_packet::ecn::EcnCodepoint;
 use qem_packet::icmp::IcmpMessage;
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
@@ -153,6 +154,34 @@ impl Path {
     /// visible in the quote) or stays silent, according to its
     /// [`IcmpBehavior`](crate::router::IcmpBehavior).
     pub fn transit<R: Rng + ?Sized>(&self, datagram: &IpDatagram, rng: &mut R) -> TransitOutcome {
+        self.transit_inner(datagram, rng, None)
+    }
+
+    /// Send `datagram` down the path at virtual time `now`, passing every hop
+    /// whose router has a queue registered in `queues` through that **shared**
+    /// egress queue: the packet competes for space with every other flow
+    /// crossing the same router, picks up the queueing delay, and may be
+    /// CE-marked or dropped based on the *combined* occupancy.
+    ///
+    /// With an empty [`SharedQueues`] this is exactly [`Path::transit`] —
+    /// same outcomes, same RNG draws — which is what keeps the single-flow
+    /// wrappers bit-identical to the legacy drivers.
+    pub fn transit_shared<R: Rng + ?Sized>(
+        &self,
+        datagram: &IpDatagram,
+        now: SimInstant,
+        rng: &mut R,
+        queues: &mut SharedQueues,
+    ) -> TransitOutcome {
+        self.transit_inner(datagram, rng, Some((now, queues)))
+    }
+
+    fn transit_inner<R: Rng + ?Sized>(
+        &self,
+        datagram: &IpDatagram,
+        rng: &mut R,
+        mut shared: Option<(SimInstant, &mut SharedQueues)>,
+    ) -> TransitOutcome {
         let mut current = datagram.clone();
         let mut elapsed = SimDuration::ZERO;
         for (index, hop) in self.hops.iter().enumerate() {
@@ -188,9 +217,22 @@ impl Path {
             let ecn_in = current.header.ecn();
             current.header.set_ecn(hop.router.ecn_policy.apply(ecn_in));
             let dscp_in = current.header.dscp();
-            current.header.set_dscp(hop.router.dscp_policy.apply(dscp_in));
+            current
+                .header
+                .set_dscp(hop.router.dscp_policy.apply(dscp_in));
             if hop.router.ecn_policy == crate::policy::EcnPolicy::BleachTos {
                 current.header.set_dscp(qem_packet::ecn::Dscp::BEST_EFFORT);
+            }
+
+            // Shared egress queue (engine scenarios only): combined-occupancy
+            // marking and tail drop, plus the queueing delay.
+            if let Some((now, queues)) = shared.as_mut() {
+                let (decision, wait) = queues.admit(hop.router.id, *now, current.header.ecn(), rng);
+                match decision {
+                    AqmDecision::Forward(ecn) => current.header.set_ecn(ecn),
+                    AqmDecision::Drop => return TransitOutcome::Dropped { at_hop: index },
+                }
+                elapsed += wait;
             }
 
             // AQM marking / dropping.
@@ -274,6 +316,9 @@ impl DuplexPath {
                 .rev()
                 .map(|hop| {
                     let mut router = hop.router.clone();
+                    // The reverse egress of a router is a different queue
+                    // than its forward egress (see RouterId docs).
+                    router.id = router.id.reverse_direction();
                     router.ecn_policy = crate::policy::EcnPolicy::Pass;
                     router.dscp_policy = crate::policy::DscpPolicy::Pass;
                     router.aqm = None;
@@ -344,15 +389,24 @@ mod tests {
         let outcome = path.transit(&dgram(64, EcnCodepoint::Ect0), &mut rng);
         let (delivered, _) = outcome.delivered().unwrap();
         assert_eq!(delivered.header.ecn(), EcnCodepoint::NotEct);
-        assert_eq!(path.expected_arrival_ecn(EcnCodepoint::Ect0), EcnCodepoint::NotEct);
+        assert_eq!(
+            path.expected_arrival_ecn(EcnCodepoint::Ect0),
+            EcnCodepoint::NotEct
+        );
         assert!(path.has_ecn_impairment());
     }
 
     #[test]
     fn remarking_router_swaps_ect0_to_ect1() {
         let path = three_hop_path(EcnPolicy::RemarkEct0ToEct1);
-        assert_eq!(path.expected_arrival_ecn(EcnCodepoint::Ect0), EcnCodepoint::Ect1);
-        assert_eq!(path.expected_arrival_ecn(EcnCodepoint::Ce), EcnCodepoint::Ce);
+        assert_eq!(
+            path.expected_arrival_ecn(EcnCodepoint::Ect0),
+            EcnCodepoint::Ect1
+        );
+        assert_eq!(
+            path.expected_arrival_ecn(EcnCodepoint::Ce),
+            EcnCodepoint::Ce
+        );
     }
 
     #[test]
@@ -415,7 +469,9 @@ mod tests {
 
     #[test]
     fn lossy_hop_eventually_drops() {
-        let path = Path::new(vec![Hop::new(Router::transparent(1, Asn(680))).with_loss(1.0)]);
+        let path = Path::new(vec![
+            Hop::new(Router::transparent(1, Asn(680))).with_loss(1.0)
+        ]);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
             path.transit(&dgram(64, EcnCodepoint::NotEct), &mut rng),

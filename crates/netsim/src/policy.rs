@@ -168,7 +168,10 @@ mod tests {
             EcnPolicy::MarkAllCe.apply(EcnCodepoint::NotEct),
             EcnCodepoint::NotEct
         );
-        assert_eq!(EcnPolicy::MarkAllCe.apply(EcnCodepoint::Ect0), EcnCodepoint::Ce);
+        assert_eq!(
+            EcnPolicy::MarkAllCe.apply(EcnCodepoint::Ect0),
+            EcnCodepoint::Ce
+        );
     }
 
     #[test]

@@ -4,13 +4,43 @@ use crate::aqm::AqmConfig;
 use crate::policy::{DscpPolicy, EcnPolicy};
 use crate::topology::Asn;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// Identifier of a router inside a topology.
+///
+/// Also the key under which the discrete-event engine registers shared
+/// egress queues ([`crate::engine::SharedQueues`]): all flows whose paths
+/// cross a router with the same id compete for the same queue.
+///
+/// A physical router has a separate egress queue per direction, and the two
+/// directions of a [`DuplexPath`](crate::path::DuplexPath) are built by
+/// independent `PathBuilder`s that both number routers from 1 — so reverse
+/// paths mark their ids with [`RouterId::REVERSE_DIRECTION_BIT`] to keep a
+/// queue registered at a forward hop from accidentally capturing
+/// numerically-colliding reverse hops.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
 )]
 pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Bit distinguishing the reverse-direction egress of a duplex path from
+    /// the forward-direction egress with the same hop number.
+    pub const REVERSE_DIRECTION_BIT: u32 = 1 << 31;
+
+    /// The id used for this hop number on the reverse direction of a duplex
+    /// path.
+    pub fn reverse_direction(self) -> RouterId {
+        RouterId(self.0 | Self::REVERSE_DIRECTION_BIT)
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
 
 /// How a router answers packets whose TTL expired.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -137,7 +167,12 @@ impl Router {
     /// (from the 10.0.0.0/8 space so it never collides with simulated servers).
     pub fn derive_v4_address(id: u32, asn: Asn) -> IpAddr {
         let a = (asn.0 % 200) as u8;
-        IpAddr::V4(Ipv4Addr::new(10, a, ((id >> 8) & 0xff) as u8, (id & 0xff) as u8))
+        IpAddr::V4(Ipv4Addr::new(
+            10,
+            a,
+            ((id >> 8) & 0xff) as u8,
+            (id & 0xff) as u8,
+        ))
     }
 
     /// Deterministic IPv6 address for a router id within an AS.
@@ -179,7 +214,10 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(a, c);
         assert!(matches!(a, IpAddr::V4(_)));
-        assert!(matches!(Router::derive_v6_address(1, Asn(174)), IpAddr::V6(_)));
+        assert!(matches!(
+            Router::derive_v6_address(1, Asn(174)),
+            IpAddr::V6(_)
+        ));
     }
 
     #[test]

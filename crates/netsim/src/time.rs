@@ -47,7 +47,6 @@ impl SimDuration {
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
-
 }
 
 impl Mul<u64> for SimDuration {

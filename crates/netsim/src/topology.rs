@@ -240,7 +240,13 @@ pub fn build_duplex_path(
     v6: bool,
 ) -> DuplexPath {
     let forward = build_transit_path(vantage_asn, destination_asn, profile, v6);
-    let reverse = build_transit_path(destination_asn, vantage_asn, reverse_profile, v6);
+    let mut reverse = build_transit_path(destination_asn, vantage_asn, reverse_profile, v6);
+    // Both directions are numbered from 1 by their builders; mark the
+    // reverse ids so a shared queue registered at a forward hop never
+    // captures a numerically-colliding reverse hop (see RouterId docs).
+    for hop in &mut reverse.hops {
+        hop.router.id = hop.router.id.reverse_direction();
+    }
     DuplexPath::new(forward, reverse)
 }
 
@@ -292,7 +298,10 @@ mod tests {
     #[test]
     fn transit_path_shapes_match_profiles() {
         let clean = build_transit_path(Asn::DFN, Asn(16509), TransitProfile::Clean, false);
-        assert_eq!(clean.expected_arrival_ecn(EcnCodepoint::Ect0), EcnCodepoint::Ect0);
+        assert_eq!(
+            clean.expected_arrival_ecn(EcnCodepoint::Ect0),
+            EcnCodepoint::Ect0
+        );
         assert!(!clean.has_ecn_impairment());
 
         let clearing = build_transit_path(

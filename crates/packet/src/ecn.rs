@@ -13,7 +13,9 @@ use std::fmt;
 /// The numeric values are the on-the-wire bit patterns.  Note the asymmetry
 /// the paper calls out in §7.1: `ECT(1)` is `0b01` and `ECT(0)` is `0b10`,
 /// which invites implementation mix-ups.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 #[repr(u8)]
 pub enum EcnCodepoint {
     /// `00` — the transport does not support ECN; routers drop on congestion.
@@ -185,11 +187,7 @@ impl EcnCounts {
 
 impl fmt::Display for EcnCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ect0={} ect1={} ce={}",
-            self.ect0, self.ect1, self.ce
-        )
+        write!(f, "ect0={} ect1={} ce={}", self.ect0, self.ect1, self.ce)
     }
 }
 
@@ -240,14 +238,29 @@ mod tests {
         c.record(EcnCodepoint::Ect0);
         c.record(EcnCodepoint::Ce);
         c.record(EcnCodepoint::NotEct);
-        assert_eq!(c, EcnCounts { ect0: 2, ect1: 0, ce: 1 });
+        assert_eq!(
+            c,
+            EcnCounts {
+                ect0: 2,
+                ect1: 0,
+                ce: 1
+            }
+        );
         assert_eq!(c.total(), 3);
     }
 
     #[test]
     fn counts_domination() {
-        let a = EcnCounts { ect0: 5, ect1: 0, ce: 2 };
-        let b = EcnCounts { ect0: 4, ect1: 0, ce: 2 };
+        let a = EcnCounts {
+            ect0: 5,
+            ect1: 0,
+            ce: 2,
+        };
+        let b = EcnCounts {
+            ect0: 4,
+            ect1: 0,
+            ce: 2,
+        };
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(a.dominates(&a));
@@ -255,9 +268,24 @@ mod tests {
 
     #[test]
     fn counts_saturating_sub() {
-        let a = EcnCounts { ect0: 5, ect1: 1, ce: 2 };
-        let b = EcnCounts { ect0: 7, ect1: 0, ce: 2 };
-        assert_eq!(a.saturating_sub(&b), EcnCounts { ect0: 0, ect1: 1, ce: 0 });
+        let a = EcnCounts {
+            ect0: 5,
+            ect1: 1,
+            ce: 2,
+        };
+        let b = EcnCounts {
+            ect0: 7,
+            ect1: 0,
+            ce: 2,
+        };
+        assert_eq!(
+            a.saturating_sub(&b),
+            EcnCounts {
+                ect0: 0,
+                ect1: 1,
+                ce: 0
+            }
+        );
     }
 
     #[test]

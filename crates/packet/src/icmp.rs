@@ -104,7 +104,9 @@ impl IcmpMessage {
             });
         }
         if internet_checksum(buf) != 0 {
-            return Err(PacketError::BadChecksum { what: "icmp message" });
+            return Err(PacketError::BadChecksum {
+                what: "icmp message",
+            });
         }
         let ty = buf[0];
         let code = buf[1];
@@ -182,7 +184,9 @@ mod tests {
         bytes[10] ^= 0xa5;
         assert_eq!(
             IcmpMessage::decode(&bytes, false),
-            Err(PacketError::BadChecksum { what: "icmp message" })
+            Err(PacketError::BadChecksum {
+                what: "icmp message"
+            })
         );
     }
 

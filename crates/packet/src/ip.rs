@@ -146,7 +146,9 @@ impl Ipv4Header {
             });
         }
         if internet_checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
-            return Err(PacketError::BadChecksum { what: "ipv4 header" });
+            return Err(PacketError::BadChecksum {
+                what: "ipv4 header",
+            });
         }
         let (dscp, ecn) = split_traffic_class(buf[1]);
         let identification = u16::from_be_bytes([buf[4], buf[5]]);
@@ -517,7 +519,9 @@ mod tests {
         bytes[8] ^= 0xff; // flip TTL without fixing the checksum
         assert_eq!(
             Ipv4Header::decode(&bytes),
-            Err(PacketError::BadChecksum { what: "ipv4 header" })
+            Err(PacketError::BadChecksum {
+                what: "ipv4 header"
+            })
         );
     }
 

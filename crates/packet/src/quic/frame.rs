@@ -104,7 +104,10 @@ impl Frame {
     /// Whether loss of this frame must be repaired (ack-eliciting and
     /// retransmittable content).
     pub fn is_ack_eliciting(&self) -> bool {
-        !matches!(self, Frame::Ack(_) | Frame::Padding { .. } | Frame::ConnectionClose { .. })
+        !matches!(
+            self,
+            Frame::Ack(_) | Frame::Padding { .. } | Frame::ConnectionClose { .. }
+        )
     }
 
     /// Append the wire encoding of this frame to `buf`.
@@ -126,10 +129,11 @@ impl Frame {
                 let range_count = ack.ranges.len().saturating_sub(1) as u64;
                 encode_varint(buf, range_count);
                 // First range: number of packets below largest_acked, inclusive.
-                let (first_start, first_end) = ack.ranges.first().copied().unwrap_or((
-                    ack.largest_acked,
-                    ack.largest_acked,
-                ));
+                let (first_start, first_end) = ack
+                    .ranges
+                    .first()
+                    .copied()
+                    .unwrap_or((ack.largest_acked, ack.largest_acked));
                 encode_varint(buf, first_end - first_start);
                 let mut prev_start = first_start;
                 for (start, end) in ack.ranges.iter().skip(1) {
@@ -414,7 +418,11 @@ mod tests {
     #[test]
     fn ack_eliciting_classification() {
         assert!(Frame::Ping.is_ack_eliciting());
-        assert!(Frame::Crypto { offset: 0, data: vec![] }.is_ack_eliciting());
+        assert!(Frame::Crypto {
+            offset: 0,
+            data: vec![]
+        }
+        .is_ack_eliciting());
         assert!(!Frame::Ack(AckFrame::contiguous(0, 0, None)).is_ack_eliciting());
         assert!(!Frame::Padding { size: 1 }.is_ack_eliciting());
     }

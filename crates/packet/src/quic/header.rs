@@ -122,9 +122,8 @@ impl PacketHeader {
     /// The packet number, if this header type carries one.
     pub fn packet_number(&self) -> Option<u64> {
         match self {
-            PacketHeader::Long { packet_number, .. } | PacketHeader::Short { packet_number, .. } => {
-                Some(*packet_number)
-            }
+            PacketHeader::Long { packet_number, .. }
+            | PacketHeader::Short { packet_number, .. } => Some(*packet_number),
             PacketHeader::VersionNegotiation { .. } => None,
         }
     }

@@ -58,7 +58,10 @@ impl QuicVersion {
 
     /// Whether this crate knows how to encode packets of this version.
     pub fn is_supported(self) -> bool {
-        matches!(self, QuicVersion::V1 | QuicVersion::Draft(27 | 29 | 32 | 34))
+        matches!(
+            self,
+            QuicVersion::V1 | QuicVersion::Draft(27 | 29 | 32 | 34)
+        )
     }
 
     /// Short label used in reports ("v1", "d27", …), matching the paper's figures.
@@ -117,6 +120,8 @@ mod tests {
     #[test]
     fn client_supports_five_versions() {
         assert_eq!(QuicVersion::CLIENT_SUPPORTED.len(), 5);
-        assert!(QuicVersion::CLIENT_SUPPORTED.iter().all(|v| v.is_supported()));
+        assert!(QuicVersion::CLIENT_SUPPORTED
+            .iter()
+            .all(|v| v.is_supported()));
     }
 }

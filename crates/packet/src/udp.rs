@@ -63,7 +63,10 @@ impl UdpHeader {
                 reason: "length field inconsistent with buffer",
             });
         }
-        Ok((UdpHeader { src_port, dst_port }, &buf[UDP_HEADER_LEN..length]))
+        Ok((
+            UdpHeader { src_port, dst_port },
+            &buf[UDP_HEADER_LEN..length],
+        ))
     }
 
     /// Verify the UDP checksum of an encoded segment for the given endpoints.

@@ -224,8 +224,17 @@ mod tests {
 
     #[test]
     fn always_ce_collapses_everything() {
-        let reported = EcnMirroringBehavior::AlwaysCe.report(OBSERVED, true).unwrap();
-        assert_eq!(reported, EcnCounts { ect0: 0, ect1: 0, ce: 8 });
+        let reported = EcnMirroringBehavior::AlwaysCe
+            .report(OBSERVED, true)
+            .unwrap();
+        assert_eq!(
+            reported,
+            EcnCounts {
+                ect0: 0,
+                ect1: 0,
+                ce: 8
+            }
+        );
     }
 
     #[test]

@@ -339,8 +339,8 @@ impl ClientConnection {
         // Retransmit unacknowledged ack-eliciting data, respecting the
         // retransmission budget (1 by default, per the paper).
         for space_id in SpaceId::ALL {
-            let to_resend: Vec<SentPacket> = self.spaces[space_id.index()]
-                .retransmittable(self.config.max_retransmissions);
+            let to_resend: Vec<SentPacket> =
+                self.spaces[space_id.index()].retransmittable(self.config.max_retransmissions);
             for packet in to_resend {
                 let frames: Vec<Frame> = packet
                     .frames
@@ -384,7 +384,13 @@ impl ClientConnection {
                 self.receive_in_space(now, space_id, *packet_number, ecn, &packet.payload);
             }
             PacketHeader::Short { packet_number, .. } => {
-                self.receive_in_space(now, SpaceId::Application, *packet_number, ecn, &packet.payload);
+                self.receive_in_space(
+                    now,
+                    SpaceId::Application,
+                    *packet_number,
+                    ecn,
+                    &packet.payload,
+                );
             }
         }
     }
@@ -401,8 +407,7 @@ impl ClientConnection {
             return;
         };
         let ack_eliciting = frames.iter().any(Frame::is_ack_eliciting);
-        let is_new =
-            self.spaces[space_id.index()].on_packet_received(pn, ecn, ack_eliciting);
+        let is_new = self.spaces[space_id.index()].on_packet_received(pn, ecn, ack_eliciting);
         self.received_ecn.record(ecn);
         if !is_new {
             return;
@@ -425,7 +430,8 @@ impl ClientConnection {
                     // connection-level cumulative series for the validator.
                     let aggregate = match ack.ecn {
                         Some(counts) => {
-                            let prev = self.peer_counts[space_id.index()].unwrap_or(EcnCounts::ZERO);
+                            let prev =
+                                self.peer_counts[space_id.index()].unwrap_or(EcnCounts::ZERO);
                             if counts.dominates(&prev) {
                                 let delta = counts.saturating_sub(&prev);
                                 self.peer_counts[space_id.index()] = Some(counts);
@@ -443,8 +449,11 @@ impl ClientConnection {
                         }
                         None => None,
                     };
-                    self.validator
-                        .on_ack_received(result.marked_count(), result.count(), aggregate);
+                    self.validator.on_ack_received(
+                        result.marked_count(),
+                        result.count(),
+                        aggregate,
+                    );
                 }
             }
             Frame::Crypto { data, .. } => {
@@ -591,7 +600,11 @@ impl ClientConnection {
         for space_id in SpaceId::ALL {
             if self.spaces[space_id.index()].ack_pending() {
                 let counts = self.spaces[space_id.index()].ecn_received();
-                let ecn = if counts.total() > 0 { Some(counts) } else { None };
+                let ecn = if counts.total() > 0 {
+                    Some(counts)
+                } else {
+                    None
+                };
                 if let Some(ack) = self.spaces[space_id.index()].build_ack(ecn) {
                     self.send_packet(space_id, vec![Frame::Ack(ack)], now, 0);
                 }

@@ -2,17 +2,26 @@
 //! simulated [`DuplexPath`], producing the observation the measurement
 //! pipeline records for one domain.
 //!
-//! The driver plays the role of the operating system and the network: it
-//! wraps QUIC datagrams into UDP and IP (setting the requested ECN
-//! codepoint), pushes them through the forward or reverse path, and delivers
-//! whatever survives to the other endpoint.  Time only advances when neither
-//! endpoint has anything to send, in which case the clock jumps to the next
-//! timer — so lossy paths exercise the client's PTO/retransmission logic
-//! exactly as real packet loss would.
+//! The connection is modelled as a sans-IO [`QuicFlow`] registered with the
+//! discrete-event [`Engine`](qem_netsim::Engine): the flow wraps QUIC
+//! datagrams into UDP and IP (setting the requested ECN codepoint), pushes
+//! them through the forward or reverse path — consulting any **shared**
+//! router egress queues the engine carries — and delivers whatever survives
+//! to the other endpoint.  Time only advances when neither endpoint has
+//! anything to send, in which case the flow sleeps until its next timer —
+//! so lossy paths exercise the client's PTO/retransmission logic exactly as
+//! real packet loss would.
+//!
+//! [`run_connection`] is a thin wrapper driving a one-flow engine with no
+//! shared queues; its output is bit-identical to the historical
+//! per-connection loop.  [`run_connection_under_load`] runs the same flow
+//! next to background [`LoadFlow`](qem_netsim::LoadFlow)s through a shared
+//! bottleneck, which is where CE marking becomes load-dependent.
 
 use crate::behavior::ServerBehavior;
 use crate::client::{ClientConfig, ClientConnection, ClientReport};
 use crate::server::ServerConnection;
+use qem_netsim::engine::{CrossTraffic, Engine, Flow, FlowStatus, SharedQueues};
 use qem_netsim::{DuplexPath, SimDuration, SimInstant};
 use qem_packet::ecn::{EcnCodepoint, EcnCounts};
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
@@ -66,6 +75,187 @@ pub struct ConnectionOutcome {
     pub elapsed: SimDuration,
 }
 
+/// The QUIC measurement connection as a sans-IO flow for the discrete-event
+/// engine: one client, one server, the duplex path between them and the
+/// randomness driving that path.
+///
+/// The flow owns a *local* clock with the exact semantics of the historical
+/// driver loop (time only moves at timer boundaries, and a timer that does
+/// not advance time nudges the clock forward by one millisecond), so the
+/// single-flow wrapper below reproduces the legacy results bit for bit.
+pub struct QuicFlow<'a, R: Rng + ?Sized> {
+    client: &'a mut ClientConnection,
+    server: &'a mut ServerConnection,
+    path: &'a DuplexPath,
+    config: &'a DriverConfig,
+    rng: &'a mut R,
+    now: SimInstant,
+    deadline: SimInstant,
+    iterations: usize,
+    pending_timer: Option<SimInstant>,
+    forward_arrival_ecn: EcnCounts,
+    forward_losses: u64,
+    reverse_losses: u64,
+    done: bool,
+}
+
+impl<'a, R: Rng + ?Sized> QuicFlow<'a, R> {
+    /// Wrap prepared endpoints into a flow.
+    pub fn new(
+        client: &'a mut ClientConnection,
+        server: &'a mut ServerConnection,
+        path: &'a DuplexPath,
+        config: &'a DriverConfig,
+        rng: &'a mut R,
+    ) -> Self {
+        QuicFlow {
+            client,
+            server,
+            path,
+            config,
+            rng,
+            now: SimInstant::EPOCH,
+            deadline: SimInstant::EPOCH + config.max_duration,
+            iterations: 0,
+            pending_timer: None,
+            forward_arrival_ecn: EcnCounts::ZERO,
+            forward_losses: 0,
+            reverse_losses: 0,
+            done: false,
+        }
+    }
+
+    /// Whether the flow has finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Consume the flow and build the connection outcome.
+    pub fn into_outcome(self) -> ConnectionOutcome {
+        ConnectionOutcome {
+            report: self.client.report(),
+            forward_arrival_ecn: self.forward_arrival_ecn,
+            forward_losses: self.forward_losses,
+            reverse_losses: self.reverse_losses,
+            elapsed: self.now - SimInstant::EPOCH,
+        }
+    }
+
+    /// One bidirectional drain pass; returns whether anything moved.
+    fn drain(&mut self, net: &mut SharedQueues) -> bool {
+        let mut activity = false;
+
+        // Client → server.
+        while let Some(transmit) = self.client.poll_transmit(self.now) {
+            activity = true;
+            let datagram = encapsulate(
+                self.config.client_addr,
+                self.config.server_addr,
+                self.config.client_port,
+                QUIC_PORT,
+                transmit.ecn,
+                &transmit.payload,
+            );
+            match self
+                .path
+                .forward
+                .transit_shared(&datagram, self.now, self.rng, net)
+            {
+                qem_netsim::TransitOutcome::Delivered { datagram, .. } => {
+                    self.forward_arrival_ecn.record(datagram.header.ecn());
+                    if let Some(payload) = decapsulate(&datagram) {
+                        self.server
+                            .handle_datagram(self.now, datagram.header.ecn(), &payload);
+                    }
+                }
+                _ => self.forward_losses += 1,
+            }
+        }
+
+        // Server → client.
+        while let Some(transmit) = self.server.poll_transmit(self.now) {
+            activity = true;
+            let datagram = encapsulate(
+                self.config.server_addr,
+                self.config.client_addr,
+                QUIC_PORT,
+                self.config.client_port,
+                transmit.ecn,
+                &transmit.payload,
+            );
+            match self
+                .path
+                .reverse
+                .transit_shared(&datagram, self.now, self.rng, net)
+            {
+                qem_netsim::TransitOutcome::Delivered { datagram, .. } => {
+                    if let Some(payload) = decapsulate(&datagram) {
+                        self.client
+                            .handle_datagram(self.now, datagram.header.ecn(), &payload);
+                    }
+                }
+                _ => self.reverse_losses += 1,
+            }
+        }
+
+        activity
+    }
+}
+
+impl<R: Rng + ?Sized> Flow for QuicFlow<'_, R> {
+    fn on_wake(&mut self, _at: SimInstant, net: &mut SharedQueues) -> FlowStatus {
+        // A wake with a pending timer services it first, with the legacy
+        // clock-nudge semantics.
+        if let Some(t) = self.pending_timer.take() {
+            self.now = if t > self.now {
+                t
+            } else {
+                self.now + SimDuration::from_millis(1)
+            };
+            self.client.handle_timeout(self.now);
+            self.server.handle_timeout(self.now);
+        }
+
+        loop {
+            if self.iterations >= self.config.max_iterations {
+                self.done = true;
+                return FlowStatus::Done;
+            }
+            self.iterations += 1;
+
+            let activity = self.drain(net);
+
+            if self.client.is_closed() {
+                self.done = true;
+                return FlowStatus::Done;
+            }
+            if activity {
+                continue;
+            }
+
+            // Nothing in flight: sleep until the next timer.
+            let next = match (self.client.poll_timeout(), self.server.poll_timeout()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            match next {
+                Some(t) if t <= self.deadline => {
+                    self.pending_timer = Some(t);
+                    // If the timer does not advance the local clock, ask to
+                    // be woken "now" — the engine clamps to the present.
+                    return FlowStatus::Sleep(t.max(self.now));
+                }
+                _ => {
+                    self.done = true;
+                    return FlowStatus::Done;
+                }
+            }
+        }
+    }
+}
+
 /// Run a complete client↔server exchange over `path`.
 pub fn run_connection<R: Rng + ?Sized>(
     client_config: ClientConfig,
@@ -80,7 +270,8 @@ pub fn run_connection<R: Rng + ?Sized>(
 }
 
 /// Run a prepared client and server to completion (exposed for tests that
-/// need access to the endpoints afterwards).
+/// need access to the endpoints afterwards): a one-flow engine with no
+/// shared queues, bit-identical to the historical driver loop.
 pub fn run_with_endpoints<R: Rng + ?Sized>(
     client: &mut ClientConnection,
     server: &mut ServerConnection,
@@ -88,93 +279,52 @@ pub fn run_with_endpoints<R: Rng + ?Sized>(
     config: &DriverConfig,
     rng: &mut R,
 ) -> ConnectionOutcome {
-    let mut now = SimInstant::EPOCH;
-    let deadline = SimInstant::EPOCH + config.max_duration;
-    let mut forward_arrival_ecn = EcnCounts::ZERO;
-    let mut forward_losses = 0u64;
-    let mut reverse_losses = 0u64;
+    let mut flow = QuicFlow::new(client, server, path, config, rng);
+    let mut engine = Engine::new(SharedQueues::new());
+    engine.add_flow(&mut flow);
+    engine.run();
+    drop(engine);
+    flow.into_outcome()
+}
 
-    for _ in 0..config.max_iterations {
-        let mut activity = false;
-
-        // Client → server.
-        while let Some(transmit) = client.poll_transmit(now) {
-            activity = true;
-            let datagram = encapsulate(
-                config.client_addr,
-                config.server_addr,
-                config.client_port,
-                QUIC_PORT,
-                transmit.ecn,
-                &transmit.payload,
-            );
-            match path.forward.transit(&datagram, rng) {
-                qem_netsim::TransitOutcome::Delivered { datagram, .. } => {
-                    forward_arrival_ecn.record(datagram.header.ecn());
-                    if let Some(payload) = decapsulate(&datagram) {
-                        server.handle_datagram(now, datagram.header.ecn(), &payload);
-                    }
-                }
-                _ => forward_losses += 1,
-            }
-        }
-
-        // Server → client.
-        while let Some(transmit) = server.poll_transmit(now) {
-            activity = true;
-            let datagram = encapsulate(
-                config.server_addr,
-                config.client_addr,
-                QUIC_PORT,
-                config.client_port,
-                transmit.ecn,
-                &transmit.payload,
-            );
-            match path.reverse.transit(&datagram, rng) {
-                qem_netsim::TransitOutcome::Delivered { datagram, .. } => {
-                    if let Some(payload) = decapsulate(&datagram) {
-                        client.handle_datagram(now, datagram.header.ecn(), &payload);
-                    }
-                }
-                _ => reverse_losses += 1,
-            }
-        }
-
-        if client.is_closed() {
-            break;
-        }
-        if activity {
-            continue;
-        }
-
-        // Nothing in flight: jump to the next timer.
-        let next = match (client.poll_timeout(), server.poll_timeout()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
-        };
-        match next {
-            Some(t) if t <= deadline => {
-                now = if t > now {
-                    t
-                } else {
-                    now + SimDuration::from_millis(1)
-                };
-                client.handle_timeout(now);
-                server.handle_timeout(now);
-            }
-            _ => break,
-        }
+/// Run a client↔server exchange while `cross` background flows push packets
+/// through the forward path's bottleneck router (its last hop), which gets a
+/// shared egress queue.  The measured connection's packets then compete with
+/// the background load, and AQM CE marking emerges from the combined queue
+/// occupancy — the load-dependent regime of the paper's §6.2/§6.3 findings.
+///
+/// With a disabled scenario this falls back to [`run_connection`] exactly.
+pub fn run_connection_under_load<R: Rng + ?Sized>(
+    client_config: ClientConfig,
+    behavior: ServerBehavior,
+    path: &DuplexPath,
+    config: &DriverConfig,
+    cross: &CrossTraffic,
+    rng: &mut R,
+) -> ConnectionOutcome {
+    // No scenario — or nothing to attach it to (a hop-less path has no
+    // bottleneck): run the plain single-flow connection with an untouched
+    // RNG stream so the fallback really is bit-identical.
+    if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
+        return run_connection(client_config, behavior, path, config, rng);
     }
-
-    ConnectionOutcome {
-        report: client.report(),
-        forward_arrival_ecn,
-        forward_losses,
-        reverse_losses,
-        elapsed: now - SimInstant::EPOCH,
+    let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
+    let mut server = ServerConnection::new(behavior, rng.gen());
+    let (queues, mut loads) = cross
+        .instantiate(&path.forward, rng.gen())
+        .expect("enabled scenario with a bottleneck");
+    let mut engine = Engine::new(queues);
+    // Background flows register first so their first packets occupy the
+    // bottleneck before the measured connection's initial burst (FIFO
+    // tie-break at the epoch).
+    for load in loads.iter_mut() {
+        engine.add_flow(load);
     }
+    let mut flow = QuicFlow::new(&mut client, &mut server, path, config, rng);
+    engine.add_flow(&mut flow);
+    engine.run();
+    drop(engine);
+    flow.into_outcome()
 }
 
 fn encapsulate(
@@ -221,8 +371,8 @@ mod tests {
     use super::*;
     use crate::behavior::{EcnMirroringBehavior, ServerBehavior};
     use crate::ecn::{EcnValidationFailure, EcnValidationState};
-    use qem_netsim::{build_transit_path, Asn, DuplexPath, Hop, Path, Router, TransitProfile};
     use qem_netsim::IcmpBehavior;
+    use qem_netsim::{build_transit_path, Asn, DuplexPath, Hop, Path, Router, TransitProfile};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::net::Ipv4Addr;
@@ -392,7 +542,9 @@ mod tests {
 
     #[test]
     fn total_forward_loss_times_out() {
-        let lossy = Path::new(vec![Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0)]);
+        let lossy = Path::new(vec![
+            Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0)
+        ]);
         let path = DuplexPath::symmetric_clean_reverse(lossy);
         // symmetric_clean_reverse keeps the loss on the reverse too; rebuild
         // the reverse without loss so only the forward direction black-holes.
@@ -464,6 +616,59 @@ mod tests {
         let outcome = run(ServerBehavior::accurate().with_ecn_use(), &path, 14);
         assert!(outcome.report.connected);
         assert!(!outcome.report.server_used_ecn);
+    }
+
+    #[test]
+    fn cross_traffic_marks_what_a_lone_flow_never_sees() {
+        use qem_netsim::CrossTraffic;
+        let (client_addr, server_addr) = addrs();
+        let path = clean_path();
+        let driver = DriverConfig::new(client_addr, server_addr);
+
+        // Alone on a clean path: no CE, ever.
+        let mut rng = StdRng::seed_from_u64(77);
+        let solo = run_connection(
+            ClientConfig::paper_default("www.example.org"),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &mut rng,
+        );
+        assert!(solo.report.connected);
+        assert_eq!(solo.report.mirrored_counts.ce, 0);
+        assert_eq!(solo.forward_arrival_ecn.ce, 0);
+
+        // Same connection, same seed, but behind a congested shared
+        // bottleneck: the combined occupancy pushes the AQM into marking.
+        let mut rng = StdRng::seed_from_u64(77);
+        let loaded = run_connection_under_load(
+            ClientConfig::paper_default("www.example.org"),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &CrossTraffic::congested(),
+            &mut rng,
+        );
+        assert!(
+            loaded.forward_arrival_ecn.ce > 0,
+            "shared-queue occupancy must CE-mark the measured flow"
+        );
+        assert!(
+            loaded.report.mirrored_counts.ce > 0,
+            "the server must mirror the congestion marks"
+        );
+
+        // And a disabled scenario is the single-flow run, bit for bit.
+        let mut rng = StdRng::seed_from_u64(77);
+        let off = run_connection_under_load(
+            ClientConfig::paper_default("www.example.org"),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &CrossTraffic::none(),
+            &mut rng,
+        );
+        assert_eq!(off, solo);
     }
 
     #[test]

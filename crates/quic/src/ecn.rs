@@ -119,7 +119,10 @@ pub enum EcnValidationState {
 impl EcnValidationState {
     /// Whether the endpoint should still mark outgoing packets.
     pub fn marking_active(self) -> bool {
-        matches!(self, EcnValidationState::Testing | EcnValidationState::Capable)
+        matches!(
+            self,
+            EcnValidationState::Testing | EcnValidationState::Capable
+        )
     }
 
     /// Whether a final verdict has been reached.
@@ -278,13 +281,11 @@ impl EcnValidator {
 
         // A codepoint we never sent must not appear (unless CE, which routers
         // may legitimately apply).
-        if increase.ect1 > 0 && self.sent.ect1 == 0 && self.config.codepoint != EcnCodepoint::Ect1
-        {
+        if increase.ect1 > 0 && self.sent.ect1 == 0 && self.config.codepoint != EcnCodepoint::Ect1 {
             self.state = EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint);
             return;
         }
-        if increase.ect0 > 0 && self.sent.ect0 == 0 && self.config.codepoint != EcnCodepoint::Ect0
-        {
+        if increase.ect0 > 0 && self.sent.ect0 == 0 && self.config.codepoint != EcnCodepoint::Ect0 {
             self.state = EcnValidationState::Failed(EcnValidationFailure::WrongCodepoint);
             return;
         }
@@ -377,11 +378,27 @@ mod tests {
     fn capable_with_partial_acks() {
         let mut v = validator();
         send_n(&mut v, 3);
-        v.on_ack_received(3, 3, Some(EcnCounts { ect0: 3, ect1: 0, ce: 0 }));
+        v.on_ack_received(
+            3,
+            3,
+            Some(EcnCounts {
+                ect0: 3,
+                ect1: 0,
+                ce: 0,
+            }),
+        );
         // Still testing (budget not exhausted), marking continues.
         assert_eq!(v.state(), EcnValidationState::Testing);
         send_n(&mut v, 2);
-        v.on_ack_received(2, 2, Some(EcnCounts { ect0: 5, ect1: 0, ce: 0 }));
+        v.on_ack_received(
+            2,
+            2,
+            Some(EcnCounts {
+                ect0: 5,
+                ect1: 0,
+                ce: 0,
+            }),
+        );
         assert_eq!(v.state(), EcnValidationState::Capable);
     }
 
@@ -488,9 +505,25 @@ mod tests {
     fn non_monotonic_counters_fail() {
         let mut v = validator();
         send_n(&mut v, 3);
-        v.on_ack_received(3, 3, Some(EcnCounts { ect0: 3, ect1: 0, ce: 0 }));
+        v.on_ack_received(
+            3,
+            3,
+            Some(EcnCounts {
+                ect0: 3,
+                ect1: 0,
+                ce: 0,
+            }),
+        );
         send_n(&mut v, 2);
-        v.on_ack_received(2, 2, Some(EcnCounts { ect0: 2, ect1: 0, ce: 0 }));
+        v.on_ack_received(
+            2,
+            2,
+            Some(EcnCounts {
+                ect0: 2,
+                ect1: 0,
+                ce: 0,
+            }),
+        );
         assert_eq!(
             v.state(),
             EcnValidationState::Failed(EcnValidationFailure::NonMonotonic)
@@ -542,7 +575,15 @@ mod tests {
         send_n(&mut v, 5);
         assert_eq!(v.sent_counts().ce, 5);
         // A peer mirroring those CE marks is not a failure in this mode.
-        v.on_ack_received(5, 5, Some(EcnCounts { ect0: 0, ect1: 0, ce: 5 }));
+        v.on_ack_received(
+            5,
+            5,
+            Some(EcnCounts {
+                ect0: 0,
+                ect1: 0,
+                ce: 5,
+            }),
+        );
         assert_eq!(v.state(), EcnValidationState::Capable);
     }
 
@@ -559,7 +600,15 @@ mod tests {
         send_n(&mut v, 5);
         v.on_ack_received(5, 5, None);
         let failed = v.state();
-        v.on_ack_received(1, 1, Some(EcnCounts { ect0: 1, ect1: 0, ce: 0 }));
+        v.on_ack_received(
+            1,
+            1,
+            Some(EcnCounts {
+                ect0: 1,
+                ect1: 0,
+                ce: 0,
+            }),
+        );
         v.on_timeout();
         assert_eq!(v.state(), failed);
     }

@@ -150,7 +150,13 @@ impl ServerConnection {
                 self.receive_in_space(now, space_id, *packet_number, ecn, &packet.payload);
             }
             PacketHeader::Short { packet_number, .. } => {
-                self.receive_in_space(now, SpaceId::Application, *packet_number, ecn, &packet.payload);
+                self.receive_in_space(
+                    now,
+                    SpaceId::Application,
+                    *packet_number,
+                    ecn,
+                    &packet.payload,
+                );
             }
             PacketHeader::VersionNegotiation { .. } => {}
         }
@@ -381,7 +387,11 @@ mod tests {
     #[test]
     fn responds_to_client_hello_with_hello_finished_and_ack() {
         let mut server = ServerConnection::new(ServerBehavior::accurate(), 1);
-        server.handle_datagram(SimInstant::EPOCH, EcnCodepoint::Ect0, &client_initial(QuicVersion::V1));
+        server.handle_datagram(
+            SimInstant::EPOCH,
+            EcnCodepoint::Ect0,
+            &client_initial(QuicVersion::V1),
+        );
         let mut kinds = Vec::new();
         while let Some(t) = server.poll_transmit(SimInstant::EPOCH) {
             let (pkt, _) = QuicPacket::decode(&t.payload, CID_LEN).unwrap();
@@ -400,7 +410,11 @@ mod tests {
     fn unsupported_version_triggers_version_negotiation() {
         let behavior = ServerBehavior::accurate().with_versions(vec![QuicVersion::DRAFT_27]);
         let mut server = ServerConnection::new(behavior, 1);
-        server.handle_datagram(SimInstant::EPOCH, EcnCodepoint::NotEct, &client_initial(QuicVersion::V1));
+        server.handle_datagram(
+            SimInstant::EPOCH,
+            EcnCodepoint::NotEct,
+            &client_initial(QuicVersion::V1),
+        );
         let t = server.poll_transmit(SimInstant::EPOCH).unwrap();
         let (pkt, _) = QuicPacket::decode(&t.payload, CID_LEN).unwrap();
         match pkt.header {
@@ -418,7 +432,11 @@ mod tests {
             ServerBehavior::accurate().with_mirroring(EcnMirroringBehavior::None),
             1,
         );
-        server.handle_datagram(SimInstant::EPOCH, EcnCodepoint::Ect0, &client_initial(QuicVersion::V1));
+        server.handle_datagram(
+            SimInstant::EPOCH,
+            EcnCodepoint::Ect0,
+            &client_initial(QuicVersion::V1),
+        );
         let mut saw_ack_without_ecn = false;
         while let Some(t) = server.poll_transmit(SimInstant::EPOCH) {
             let (pkt, _) = QuicPacket::decode(&t.payload, CID_LEN).unwrap();
@@ -435,7 +453,11 @@ mod tests {
     #[test]
     fn egress_ecn_follows_behavior() {
         let mut server = ServerConnection::new(ServerBehavior::accurate().with_ecn_use(), 1);
-        server.handle_datagram(SimInstant::EPOCH, EcnCodepoint::NotEct, &client_initial(QuicVersion::V1));
+        server.handle_datagram(
+            SimInstant::EPOCH,
+            EcnCodepoint::NotEct,
+            &client_initial(QuicVersion::V1),
+        );
         let t = server.poll_transmit(SimInstant::EPOCH).unwrap();
         assert_eq!(t.ecn, EcnCodepoint::Ect0);
     }

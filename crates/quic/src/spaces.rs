@@ -8,9 +8,9 @@
 //! failure to carry ECN accounting across the handshake → 1-RTT transition,
 //! which can only be modelled if the spaces are real.
 
+use qem_netsim::SimInstant;
 use qem_packet::ecn::{EcnCodepoint, EcnCounts};
 use qem_packet::quic::{AckFrame, Frame, LongPacketType};
-use qem_netsim::SimInstant;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -303,7 +303,10 @@ mod tests {
 
     #[test]
     fn space_id_mapping() {
-        assert_eq!(SpaceId::for_long_type(LongPacketType::Initial), Some(SpaceId::Initial));
+        assert_eq!(
+            SpaceId::for_long_type(LongPacketType::Initial),
+            Some(SpaceId::Initial)
+        );
         assert_eq!(
             SpaceId::for_long_type(LongPacketType::Handshake),
             Some(SpaceId::Handshake)

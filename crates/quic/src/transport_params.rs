@@ -166,7 +166,10 @@ mod tests {
             initial_max_data: a.initial_max_data + 1,
             ..a
         };
-        assert_eq!(a.fingerprint(), TransportParameters::client_default().fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            TransportParameters::client_default().fingerprint()
+        );
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 

@@ -50,7 +50,27 @@ where
     }
 }
 
+/// Stores hold only the single-flow methodology (see [`CampaignStoreExt`]).
+fn reject_cross_traffic(options: &CampaignOptions) -> Result<(), StoreError> {
+    if options.cross_traffic.is_enabled() {
+        return Err(StoreError::Mismatch(
+            "cross-traffic scenarios cannot be persisted: the scenario is not \
+             part of the store identity, so a resumed scan could not reproduce \
+             it — run what-if campaigns in memory instead"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
 /// Store-backed campaign runs.
+///
+/// Stores only ever hold the single-flow methodology: an enabled
+/// [`CampaignOptions::cross_traffic`] scenario is rejected with
+/// [`StoreError::Mismatch`], because the scenario is not part of
+/// [`SnapshotMeta`] and a later resume could not reproduce it — half the
+/// hosts would be measured under load and half without, silently.  What-if
+/// scenarios are ephemeral; run them in memory.
 pub trait CampaignStoreExt {
     /// Run one snapshot, streaming every measurement into a store at `dir`
     /// instead of materialising the result set.  Peak memory is one segment
@@ -67,8 +87,11 @@ pub trait CampaignStoreExt {
     /// hosts already persisted are skipped, the rest are measured with the
     /// stored options (`workers` only changes scheduling, so it is supplied
     /// fresh).  The result is bit-identical to an uninterrupted run.
-    fn resume_snapshot_to_store(&self, dir: &Path, workers: usize)
-        -> Result<ResumeOutcome, StoreError>;
+    fn resume_snapshot_to_store(
+        &self,
+        dir: &Path,
+        workers: usize,
+    ) -> Result<ResumeOutcome, StoreError>;
 
     /// Run the longitudinal series (one IPv4 snapshot per date), streaming
     /// each date into a delta-encoded store: dates after the first persist
@@ -89,6 +112,7 @@ impl CampaignStoreExt for Campaign<'_> {
         ipv6: bool,
         dir: &Path,
     ) -> Result<StoredSnapshot, StoreError> {
+        reject_cross_traffic(options)?;
         let universe = self.universe();
         let meta = SnapshotMeta::for_campaign(options, vantage, ipv6);
         let mut writer = CampaignWriter::create(dir, &meta)?;
@@ -102,6 +126,7 @@ impl CampaignStoreExt for Campaign<'_> {
                 trace_sample_probability: options.trace_sample_probability,
                 workers: options.workers,
                 seed: options.seed,
+                cross_traffic: options.cross_traffic,
             },
         );
         let population = universe.scan_population(ipv6);
@@ -145,6 +170,10 @@ impl CampaignStoreExt for Campaign<'_> {
                 trace_sample_probability: meta.trace_sample_probability,
                 workers,
                 seed: meta.seed,
+                // Cross-traffic what-if scenarios are not campaign artifacts:
+                // the store only ever holds (and resumes) the single-flow
+                // methodology, so a resumed scan always runs without load.
+                cross_traffic: qem_netsim::CrossTraffic::none(),
             },
         );
         scan_into(&scanner, &remaining, |m| writer.append(m))?;
@@ -162,6 +191,7 @@ impl CampaignStoreExt for Campaign<'_> {
         options: &CampaignOptions,
         dir: &Path,
     ) -> Result<LongitudinalStore, StoreError> {
+        reject_cross_traffic(options)?;
         let universe = self.universe();
         let vantage = VantagePoint::main();
         let mut writer = LongitudinalWriter::create(dir, &vantage, options, dates)?;
@@ -178,6 +208,7 @@ impl CampaignStoreExt for Campaign<'_> {
                     trace_sample_probability: options.trace_sample_probability,
                     workers: options.workers,
                     seed: options.seed,
+                    cross_traffic: options.cross_traffic,
                 },
             );
             scan_into(&scanner, &population, |m| writer.append(m))?;
@@ -200,6 +231,38 @@ mod tests {
     }
 
     #[test]
+    fn cross_traffic_campaigns_cannot_be_persisted() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let vantage = VantagePoint::main();
+        let loaded = CampaignOptions::ce_probing_under_load();
+
+        let dir = temp_dir("cross-traffic-reject");
+        let snapshot = campaign.run_snapshot_to_store(&vantage, &loaded, false, &dir);
+        assert!(
+            matches!(snapshot, Err(StoreError::Mismatch(_))),
+            "cross-traffic snapshots must be rejected, got {snapshot:?}"
+        );
+        let series =
+            campaign.run_longitudinal_to_store(&[qem_web::SnapshotDate::APR_2023], &loaded, &dir);
+        assert!(matches!(series, Err(StoreError::Mismatch(_))));
+
+        // And a stored single-flow snapshot never claims identity with
+        // loaded options, even when everything else matches.
+        let options = CampaignOptions::paper_default();
+        let stored = campaign
+            .run_snapshot_to_store(&vantage, &options, false, &dir)
+            .unwrap();
+        assert!(stored.meta().matches(&options, &vantage, false));
+        assert!(!stored.meta().matches(
+            &options.with_cross_traffic(qem_netsim::CrossTraffic::congested()),
+            &vantage,
+            false
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn store_backed_snapshot_equals_in_memory_snapshot() {
         let universe = universe();
         let campaign = Campaign::new(&universe);
@@ -218,12 +281,20 @@ mod tests {
         // any options that would produce different measurements.
         assert!(stored.meta().matches(&options, &vantage, false));
         assert!(!stored.meta().matches(&options, &vantage, true));
-        assert!(!stored.meta().matches(&CampaignOptions::ce_probing(), &vantage, false));
-        assert!(stored.meta().matches(
-            &CampaignOptions { workers: 7, ..options },
-            &vantage,
-            false
-        ), "worker count is scheduling, not identity");
+        assert!(!stored
+            .meta()
+            .matches(&CampaignOptions::ce_probing(), &vantage, false));
+        assert!(
+            stored.meta().matches(
+                &CampaignOptions {
+                    workers: 7,
+                    ..options
+                },
+                &vantage,
+                false
+            ),
+            "worker count is scheduling, not identity"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -255,6 +326,7 @@ mod tests {
                     trace_sample_probability: options.trace_sample_probability,
                     workers: 0,
                     seed: options.seed,
+                    cross_traffic: options.cross_traffic,
                 },
             );
             scan_into(&scanner, &population[..cut], |m| writer.append(m)).unwrap();
@@ -264,7 +336,10 @@ mod tests {
         let outcome = campaign.resume_snapshot_to_store(&dir, 4).unwrap();
         // The persisted prefix is segment-aligned: everything the writer
         // flushed survives, the buffered tail is re-scanned.
-        assert!(outcome.skipped_hosts > 0, "resume must reuse persisted hosts");
+        assert!(
+            outcome.skipped_hosts > 0,
+            "resume must reuse persisted hosts"
+        );
         assert!(outcome.skipped_hosts <= cut);
         assert_eq!(
             outcome.skipped_hosts + outcome.scanned_hosts,

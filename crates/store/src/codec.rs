@@ -113,7 +113,9 @@ impl Dicts {
         self.strings
             .get(idx as usize)
             .map(String::as_str)
-            .ok_or_else(|| StoreError::Corrupt(format!("string dictionary index {idx} out of range")))
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!("string dictionary index {idx} out of range"))
+            })
     }
 
     fn asn(&self, idx: u64) -> Result<Asn, StoreError> {
@@ -216,7 +218,9 @@ fn codepoint_from_bits(bits: u8) -> Result<EcnCodepoint, StoreError> {
         0b01 => Ok(EcnCodepoint::Ect1),
         0b10 => Ok(EcnCodepoint::Ect0),
         0b11 => Ok(EcnCodepoint::Ce),
-        _ => Err(StoreError::Corrupt(format!("invalid ECN codepoint bits {bits:#04b}"))),
+        _ => Err(StoreError::Corrupt(format!(
+            "invalid ECN codepoint bits {bits:#04b}"
+        ))),
     }
 }
 
@@ -250,7 +254,9 @@ fn validation_state_from_tag(tag: u8) -> Result<EcnValidationState, StoreError> 
         7 => EcnValidationState::Failed(EcnValidationFailure::AllCe),
         8 => EcnValidationState::Failed(EcnValidationFailure::AllLost),
         other => {
-            return Err(StoreError::Corrupt(format!("invalid ECN validation tag {other}")))
+            return Err(StoreError::Corrupt(format!(
+                "invalid ECN validation tag {other}"
+            )))
         }
     })
 }
@@ -274,7 +280,11 @@ fn verdict_from_tag(tag: u8) -> Result<PathVerdict, StoreError> {
         3 => PathVerdict::RemarkedToEct0,
         4 => PathVerdict::CeMarked,
         5 => PathVerdict::Untested,
-        other => return Err(StoreError::Corrupt(format!("invalid path verdict tag {other}"))),
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "invalid path verdict tag {other}"
+            )))
+        }
     })
 }
 
@@ -326,7 +336,9 @@ fn decode_version(r: &mut ByteReader<'_>) -> Result<QuicVersion, StoreError> {
                 StoreError::Corrupt(format!("QUIC version {value} overflows u32"))
             })?))
         }
-        tag => Err(StoreError::Corrupt(format!("invalid QUIC version tag {tag}"))),
+        tag => Err(StoreError::Corrupt(format!(
+            "invalid QUIC version tag {tag}"
+        ))),
     }
 }
 
@@ -632,9 +644,21 @@ mod tests {
             transport_fingerprint: Some(0xdead_beef_cafe),
             ecn_state: EcnValidationState::Failed(EcnValidationFailure::Undercount),
             peer_mirrored: true,
-            mirrored_counts: EcnCounts { ect0: 10, ect1: 0, ce: 1 },
-            sent_counts: EcnCounts { ect0: 12, ect1: 0, ce: 0 },
-            received_ecn: EcnCounts { ect0: 0, ect1: 0, ce: 0 },
+            mirrored_counts: EcnCounts {
+                ect0: 10,
+                ect1: 0,
+                ce: 1,
+            },
+            sent_counts: EcnCounts {
+                ect0: 12,
+                ect1: 0,
+                ce: 0,
+            },
+            received_ecn: EcnCounts {
+                ect0: 0,
+                ect1: 0,
+                ce: 0,
+            },
             server_used_ecn: false,
             error: None,
         }
@@ -651,7 +675,11 @@ mod tests {
                 ce_mirrored: false,
                 cwr_acknowledged: false,
                 received_ecn: EcnCounts::ZERO,
-                server_observed_ecn: EcnCounts { ect0: 9, ect1: 0, ce: 0 },
+                server_observed_ecn: EcnCounts {
+                    ect0: 9,
+                    ect1: 0,
+                    ce: 0,
+                },
                 server_used_ecn: false,
                 response_received: true,
                 forward_losses: 1,

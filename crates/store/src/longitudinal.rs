@@ -75,7 +75,9 @@ fn encode_series_meta(
 
 fn decode_series_dates(bytes: &[u8]) -> Result<Vec<SnapshotDate>, StoreError> {
     if bytes.len() < 8 {
-        return Err(StoreError::Corrupt("longitudinal metadata truncated".to_string()));
+        return Err(StoreError::Corrupt(
+            "longitudinal metadata truncated".to_string(),
+        ));
     }
     let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
     let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
@@ -102,9 +104,8 @@ fn decode_series_dates(bytes: &[u8]) -> Result<Vec<SnapshotDate>, StoreError> {
     for _ in 0..count {
         let months = r.varint()?;
         dates.push(SnapshotDate::from_months_since_start(
-            u32::try_from(months).map_err(|_| {
-                StoreError::Corrupt(format!("date offset {months} overflows u32"))
-            })?,
+            u32::try_from(months)
+                .map_err(|_| StoreError::Corrupt(format!("date offset {months} overflows u32")))?,
         ));
     }
     Ok(dates)
@@ -150,7 +151,9 @@ impl LongitudinalWriter {
         dates: &[SnapshotDate],
     ) -> Result<LongitudinalWriter, StoreError> {
         if dates.is_empty() {
-            return Err(StoreError::State("a series needs at least one date".to_string()));
+            return Err(StoreError::State(
+                "a series needs at least one date".to_string(),
+            ));
         }
         // The manifest stores dates as months-since-June-2022 offsets;
         // months_since_start saturates below the epoch, so a pre-epoch date
@@ -202,7 +205,10 @@ impl LongitudinalWriter {
         let meta = SnapshotMeta {
             delta: self.next_date > 0,
             ..SnapshotMeta::for_campaign(
-                &CampaignOptions { date, ..self.options },
+                &CampaignOptions {
+                    date,
+                    ..self.options
+                },
                 &self.vantage,
                 false,
             )
@@ -257,7 +263,8 @@ impl LongitudinalWriter {
         if self.next_date > 0 && self.current_count != self.previous.len() {
             return Err(StoreError::State(format!(
                 "date {} scanned {} hosts but the series population is {}",
-                self.next_date, self.current_count,
+                self.next_date,
+                self.current_count,
                 self.previous.len()
             )));
         }
@@ -342,7 +349,9 @@ impl LongitudinalStore {
 
     /// Records persisted for date `idx` (the on-disk delta size).
     pub fn stored_record_count(&self, idx: usize) -> Option<u64> {
-        self.snapshots.get(idx).and_then(|s| s.recorded_host_count())
+        self.snapshots
+            .get(idx)
+            .and_then(|s| s.recorded_host_count())
     }
 
     /// Replay the series once, handing each date's **full** reconstructed
@@ -424,7 +433,11 @@ mod tests {
     #[test]
     fn deltas_store_only_changed_hosts_and_replay_in_full() {
         let dir = temp_dir("delta");
-        let dates = [SnapshotDate::JUN_2022, SnapshotDate::new(2022, 7), SnapshotDate::new(2022, 8)];
+        let dates = [
+            SnapshotDate::JUN_2022,
+            SnapshotDate::new(2022, 7),
+            SnapshotDate::new(2022, 8),
+        ];
         let mut writer = LongitudinalWriter::create(
             &dir,
             &VantagePoint::main(),
@@ -546,7 +559,10 @@ mod tests {
         writer.append(measurement(0, false)).unwrap();
         writer.end_date().unwrap();
         assert!(matches!(writer.finish(), Err(StoreError::State(_))));
-        assert!(matches!(LongitudinalStore::open(&dir), Err(StoreError::State(_))));
+        assert!(matches!(
+            LongitudinalStore::open(&dir),
+            Err(StoreError::State(_))
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

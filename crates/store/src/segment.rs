@@ -81,7 +81,9 @@ pub fn read_segment(path: &Path) -> Result<Vec<HostMeasurement>, StoreError> {
 /// Validate magic, version and checksum; return the enclosed block bytes.
 pub fn check_framing(bytes: &[u8]) -> Result<&[u8], StoreError> {
     if bytes.len() < MAGIC.len() + 1 + 8 {
-        return Err(StoreError::Corrupt("file shorter than segment framing".to_string()));
+        return Err(StoreError::Corrupt(
+            "file shorter than segment framing".to_string(),
+        ));
     }
     let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
     let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
@@ -93,7 +95,9 @@ pub fn check_framing(bytes: &[u8]) -> Result<&[u8], StoreError> {
     }
     let mut r = ByteReader::new(body);
     if r.bytes(MAGIC.len())? != MAGIC {
-        return Err(StoreError::Corrupt("bad magic (not a segment file)".to_string()));
+        return Err(StoreError::Corrupt(
+            "bad magic (not a segment file)".to_string(),
+        ));
     }
     let version = r.u8()?;
     if version != FORMAT_VERSION {

@@ -83,14 +83,16 @@ impl SnapshotMeta {
 
     /// Whether a campaign with `options` produces the measurements this
     /// store holds.  The worker count is deliberately not part of the
-    /// identity: scheduling never changes results.
+    /// identity: scheduling never changes results.  Stores only ever hold
+    /// the single-flow methodology, so options with an enabled
+    /// cross-traffic scenario never match.
     pub fn matches(&self, options: &CampaignOptions, vantage: &VantagePoint, ipv6: bool) -> bool {
-        self.date == options.date
+        !options.cross_traffic.is_enabled()
+            && self.date == options.date
             && self.ipv6 == ipv6
             && self.vantage == *vantage
             && self.probe == options.probe
-            && self.trace_sample_probability.to_bits()
-                == options.trace_sample_probability.to_bits()
+            && self.trace_sample_probability.to_bits() == options.trace_sample_probability.to_bits()
             && self.seed == options.seed
     }
 
@@ -136,7 +138,9 @@ impl SnapshotMeta {
         let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
         let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
         if stored != fnv1a(body) {
-            return Err(StoreError::Corrupt("metadata checksum mismatch".to_string()));
+            return Err(StoreError::Corrupt(
+                "metadata checksum mismatch".to_string(),
+            ));
         }
         let mut r = ByteReader::new(body);
         if r.bytes(META_MAGIC.len())? != META_MAGIC {
@@ -156,9 +160,7 @@ impl SnapshotMeta {
             0 => CloudProvider::Main,
             1 => CloudProvider::Aws,
             2 => CloudProvider::Vultr,
-            tag => {
-                return Err(StoreError::Corrupt(format!("invalid provider tag {tag}")))
-            }
+            tag => return Err(StoreError::Corrupt(format!("invalid provider tag {tag}"))),
         };
         let asn = r.varint()?;
         let quirk_flags = r.u8()?;
@@ -172,7 +174,9 @@ impl SnapshotMeta {
         let trace_sample_probability = f64::from_bits(r.u64_le()?);
         let seed = r.u64_le()?;
         if !r.is_empty() {
-            return Err(StoreError::Corrupt("trailing bytes in metadata".to_string()));
+            return Err(StoreError::Corrupt(
+                "trailing bytes in metadata".to_string(),
+            ));
         }
         Ok(SnapshotMeta {
             date: SnapshotDate::new(
@@ -184,9 +188,10 @@ impl SnapshotMeta {
             vantage: VantagePoint {
                 name,
                 provider,
-                asn: qem_netsim::Asn(u32::try_from(asn).map_err(|_| {
-                    StoreError::Corrupt(format!("ASN {asn} overflows u32"))
-                })?),
+                asn: qem_netsim::Asn(
+                    u32::try_from(asn)
+                        .map_err(|_| StoreError::Corrupt(format!("ASN {asn} overflows u32")))?,
+                ),
                 quirks: VantageQuirks {
                     wix_unreachable: quirk_flags & 1 != 0,
                     google_ce_anomaly: quirk_flags & 2 != 0,
@@ -237,7 +242,9 @@ fn read_complete_marker(dir: &Path) -> Result<Option<u64>, StoreError> {
     let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
     let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
     if stored != fnv1a(body) {
-        return Err(StoreError::Corrupt("COMPLETE marker checksum mismatch".to_string()));
+        return Err(StoreError::Corrupt(
+            "COMPLETE marker checksum mismatch".to_string(),
+        ));
     }
     let mut r = ByteReader::new(body);
     if r.bytes(COMPLETE_MAGIC.len())? != COMPLETE_MAGIC {
@@ -671,7 +678,10 @@ mod tests {
         writer.append(measurement(0)).unwrap();
         writer.append(measurement(1)).unwrap();
         drop(writer);
-        assert!(matches!(StoredSnapshot::open(&dir), Err(StoreError::State(_))));
+        assert!(matches!(
+            StoredSnapshot::open(&dir),
+            Err(StoreError::State(_))
+        ));
         assert!(StoredSnapshot::open_partial(&dir).is_ok());
         assert!(matches!(
             CampaignWriter::create(&dir, &meta()),

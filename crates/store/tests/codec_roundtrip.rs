@@ -308,8 +308,16 @@ fn pinned_edge_cases_round_trip() {
                 transport_fingerprint: None,
                 ecn_state: EcnValidationState::Failed(EcnValidationFailure::AllCe),
                 peer_mirrored: true,
-                mirrored_counts: EcnCounts { ect0: 0, ect1: 0, ce: 9 },
-                sent_counts: EcnCounts { ect0: 0, ect1: 0, ce: 9 },
+                mirrored_counts: EcnCounts {
+                    ect0: 0,
+                    ect1: 0,
+                    ce: 9,
+                },
+                sent_counts: EcnCounts {
+                    ect0: 0,
+                    ect1: 0,
+                    ce: 9,
+                },
                 received_ecn: EcnCounts::ZERO,
                 server_used_ecn: false,
                 error: Some(String::new()),
@@ -320,7 +328,11 @@ fn pinned_edge_cases_round_trip() {
                 ce_mirrored: true,
                 cwr_acknowledged: true,
                 received_ecn: EcnCounts::ZERO,
-                server_observed_ecn: EcnCounts { ect0: 0, ect1: 0, ce: 7 },
+                server_observed_ecn: EcnCounts {
+                    ect0: 0,
+                    ect1: 0,
+                    ce: 7,
+                },
                 server_used_ecn: false,
                 response_received: true,
                 forward_losses: u32::MAX,

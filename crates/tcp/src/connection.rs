@@ -6,9 +6,17 @@
 //! §6.3 experiment), the server's response, and a FIN.  Every segment is a
 //! real [`TcpHeader`]-encoded packet pushed through the path simulator, so
 //! path-level ECN impairments act on TCP exactly as they do on QUIC.
+//!
+//! The exchange is modelled as a sans-IO [`TcpFlow`] state machine for the
+//! discrete-event engine: [`run_tcp_connection`] drives it through a
+//! one-flow engine with no shared queues (bit-identical to the historical
+//! straight-line script), while [`run_tcp_connection_under_load`] runs it
+//! next to background load through a shared bottleneck queue, where CE
+//! marks — and therefore ECE echoes — emerge from combined occupancy.
 
 use crate::behavior::TcpServerBehavior;
-use qem_netsim::{DuplexPath, TransitOutcome};
+use qem_netsim::engine::{CrossTraffic, Engine, Flow, FlowStatus, SharedQueues};
+use qem_netsim::{DuplexPath, SimDuration, SimInstant, TransitOutcome};
 use qem_packet::ecn::{EcnCodepoint, EcnCounts};
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
 use qem_packet::tcp::{TcpFlags, TcpHeader};
@@ -97,13 +105,15 @@ impl<'a> Wire<'a> {
     fn send_forward<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
+        now: SimInstant,
+        net: &mut SharedQueues,
         ecn: EcnCodepoint,
         header: TcpHeader,
         payload: &[u8],
     ) -> Option<IpDatagram> {
         let segment = header.encode(self.client, self.server, payload);
         let datagram = encapsulate(self.client, self.server, ecn, segment);
-        match self.path.forward.transit(&datagram, rng) {
+        match self.path.forward.transit_shared(&datagram, now, rng, net) {
             TransitOutcome::Delivered { datagram, .. } => Some(datagram),
             _ => None,
         }
@@ -112,13 +122,15 @@ impl<'a> Wire<'a> {
     fn send_reverse<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
+        now: SimInstant,
+        net: &mut SharedQueues,
         ecn: EcnCodepoint,
         header: TcpHeader,
         payload: &[u8],
     ) -> Option<IpDatagram> {
         let segment = header.encode(self.server, self.client, payload);
         let datagram = encapsulate(self.server, self.client, ecn, segment);
-        match self.path.reverse.transit(&datagram, rng) {
+        match self.path.reverse.transit_shared(&datagram, now, rng, net) {
             TransitOutcome::Delivered { datagram, .. } => Some(datagram),
             _ => None,
         }
@@ -155,8 +167,278 @@ fn decode(datagram: &IpDatagram) -> Option<(TcpHeader, Vec<u8>)> {
         .map(|(h, p)| (h, p.to_vec()))
 }
 
+const CLIENT_PORT: u16 = 52_000;
+const SERVER_PORT: u16 = 443;
+
+/// Where the sans-IO TCP exchange currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TcpFlowState {
+    /// SYN / SYN-ACK not yet exchanged.
+    Handshake,
+    /// Request / probe segment `index` is next.
+    Data { index: usize },
+    /// The exchange is over (successfully or not).
+    Finished,
+}
+
+/// One TCP measurement connection as a sans-IO flow for the discrete-event
+/// engine.
+///
+/// Without pacing the whole exchange happens at the flow's first wake —
+/// exactly the historical straight-line script, transit for transit and RNG
+/// draw for RNG draw.  With [`TcpFlow::with_pacing`] the client spreads its
+/// data segments over virtual time, which lets background-flow scenarios
+/// shape the bottleneck occupancy each segment encounters.
+pub struct TcpFlow<'a, R: Rng + ?Sized> {
+    config: TcpClientConfig,
+    behavior: TcpServerBehavior,
+    wire: Wire<'a>,
+    rng: &'a mut R,
+    report: TcpReport,
+    state: TcpFlowState,
+    pacing: SimDuration,
+    segments: Vec<Vec<u8>>,
+    server_ecn: bool,
+    server_saw_ce: bool,
+    client_seq: u32,
+    client_data_ecn: EcnCodepoint,
+    server_data_ecn: EcnCodepoint,
+}
+
+impl<'a, R: Rng + ?Sized> TcpFlow<'a, R> {
+    /// Wrap a client configuration and a server behaviour into a flow over
+    /// `path`.
+    pub fn new(
+        config: TcpClientConfig,
+        behavior: TcpServerBehavior,
+        client_addr: IpAddr,
+        server_addr: IpAddr,
+        path: &'a DuplexPath,
+        rng: &'a mut R,
+    ) -> Self {
+        TcpFlow {
+            config,
+            behavior,
+            wire: Wire {
+                client: client_addr,
+                server: server_addr,
+                path,
+            },
+            rng,
+            report: TcpReport::default(),
+            state: TcpFlowState::Handshake,
+            pacing: SimDuration::ZERO,
+            segments: Vec::new(),
+            server_ecn: false,
+            server_saw_ce: false,
+            client_seq: 1_001,
+            client_data_ecn: EcnCodepoint::NotEct,
+            server_data_ecn: EcnCodepoint::NotEct,
+        }
+    }
+
+    /// Space the data segments `interval` apart in virtual time instead of
+    /// sending them back to back at the first wake.
+    pub fn with_pacing(mut self, interval: SimDuration) -> Self {
+        self.pacing = interval;
+        self
+    }
+
+    /// Whether the exchange has finished.
+    pub fn is_done(&self) -> bool {
+        self.state == TcpFlowState::Finished
+    }
+
+    /// Consume the flow and return the scanner's observations.
+    pub fn into_report(self) -> TcpReport {
+        self.report
+    }
+
+    /// SYN / SYN-ACK exchange; returns whether the data phase should run.
+    fn handshake(&mut self, now: SimInstant, net: &mut SharedQueues) -> bool {
+        let syn_flags = if self.config.ecn_enabled {
+            TcpFlags::ECN_SETUP_SYN
+        } else {
+            TcpFlags {
+                syn: true,
+                ..TcpFlags::default()
+            }
+        };
+        // The SYN itself is never ECT-marked (RFC 3168 §6.1.1).
+        let syn = TcpHeader::new(CLIENT_PORT, SERVER_PORT, 1_000, 0, syn_flags);
+        let Some(at_server) =
+            self.wire
+                .send_forward(self.rng, now, net, EcnCodepoint::NotEct, syn, &[])
+        else {
+            self.report.forward_losses += 1;
+            return false;
+        };
+        let Some((syn_seen, _)) = decode(&at_server) else {
+            return false;
+        };
+        self.report
+            .server_observed_ecn
+            .record(at_server.header.ecn());
+
+        // The server accepts ECN only if the SYN still looks like an ECN setup
+        // (middleboxes clearing TCP flags are out of scope — the paper found
+        // the relevant impairments on the IP layer).
+        self.server_ecn = self.behavior.negotiate_ecn && syn_seen.flags.is_ecn_setup_syn();
+        let syn_ack_flags = TcpFlags {
+            syn: true,
+            ack: true,
+            ece: self.server_ecn,
+            ..TcpFlags::default()
+        };
+        let syn_ack = TcpHeader::new(SERVER_PORT, CLIENT_PORT, 5_000, 1_001, syn_ack_flags);
+        let Some(at_client) =
+            self.wire
+                .send_reverse(self.rng, now, net, EcnCodepoint::NotEct, syn_ack, &[])
+        else {
+            return false;
+        };
+        let Some((syn_ack_seen, _)) = decode(&at_client) else {
+            return false;
+        };
+        self.report.received_ecn.record(at_client.header.ecn());
+        self.report.connected = true;
+        self.report.negotiated =
+            self.config.ecn_enabled && syn_ack_seen.flags.is_ecn_setup_syn_ack();
+
+        // Client data codepoint: only marked if ECN was negotiated.
+        self.client_data_ecn = if self.report.negotiated {
+            self.config.probe_codepoint
+        } else {
+            EcnCodepoint::NotEct
+        };
+        self.server_data_ecn = if self.server_ecn {
+            self.behavior.egress_ecn
+        } else {
+            EcnCodepoint::NotEct
+        };
+
+        let request = b"GET / HTTP/1.1\r\nhost: probe\r\n\r\n".to_vec();
+        self.segments = vec![request];
+        for i in 0..self.config.probe_segments {
+            self.segments.push(format!("probe-{i}").into_bytes());
+        }
+        true
+    }
+
+    /// One data segment plus the server's ACK (and, for the request, the
+    /// HTTP response).
+    fn exchange_segment(&mut self, index: usize, now: SimInstant, net: &mut SharedQueues) {
+        let payload = std::mem::take(&mut self.segments[index]);
+        let flags = TcpFlags {
+            ack: true,
+            psh: true,
+            // Acknowledge a previously echoed CE with CWR exactly once.
+            cwr: self.report.ce_mirrored && !self.report.cwr_acknowledged,
+            ..TcpFlags::default()
+        };
+        if flags.cwr {
+            self.report.cwr_acknowledged = true;
+        }
+        let header = TcpHeader::new(CLIENT_PORT, SERVER_PORT, self.client_seq, 5_001, flags);
+        self.client_seq = self.client_seq.wrapping_add(payload.len() as u32);
+        let Some(at_server) =
+            self.wire
+                .send_forward(self.rng, now, net, self.client_data_ecn, header, &payload)
+        else {
+            self.report.forward_losses += 1;
+            return;
+        };
+        self.report
+            .server_observed_ecn
+            .record(at_server.header.ecn());
+        if at_server.header.ecn() == EcnCodepoint::Ce {
+            self.server_saw_ce = true;
+        }
+
+        // The server acknowledges each segment; it echoes ECE while it has an
+        // unacknowledged CE (RFC 3168 §6.1.3) if it mirrors at all.
+        let echo = self.server_ecn
+            && self.behavior.mirror_ce
+            && self.server_saw_ce
+            && !self.report.cwr_acknowledged;
+        let ack_flags = TcpFlags {
+            ack: true,
+            ece: echo,
+            ..TcpFlags::default()
+        };
+        let ack = TcpHeader::new(SERVER_PORT, CLIENT_PORT, 5_001, self.client_seq, ack_flags);
+        if let Some(at_client) =
+            self.wire
+                .send_reverse(self.rng, now, net, self.server_data_ecn, ack, &[])
+        {
+            self.report.received_ecn.record(at_client.header.ecn());
+            if let Some((ack_seen, _)) = decode(&at_client) {
+                if ack_seen.flags.ece {
+                    self.report.ce_mirrored = true;
+                }
+            }
+        }
+
+        // Serve the HTTP response right after the request segment.
+        if index == 0 && self.behavior.serves_http {
+            let body = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok".to_vec();
+            let resp_flags = TcpFlags {
+                ack: true,
+                psh: true,
+                ..TcpFlags::default()
+            };
+            let resp = TcpHeader::new(SERVER_PORT, CLIENT_PORT, 5_001, self.client_seq, resp_flags);
+            if let Some(at_client) =
+                self.wire
+                    .send_reverse(self.rng, now, net, self.server_data_ecn, resp, &body)
+            {
+                self.report.received_ecn.record(at_client.header.ecn());
+                self.report.response_received = true;
+            }
+        }
+    }
+
+    fn finish(&mut self) -> FlowStatus {
+        self.report.server_used_ecn = self.report.received_ecn.total() > 0;
+        self.state = TcpFlowState::Finished;
+        FlowStatus::Done
+    }
+}
+
+impl<R: Rng + ?Sized> Flow for TcpFlow<'_, R> {
+    fn on_wake(&mut self, now: SimInstant, net: &mut SharedQueues) -> FlowStatus {
+        loop {
+            match self.state {
+                TcpFlowState::Handshake => {
+                    if !self.handshake(now, net) {
+                        // Early abort: the legacy script returns the report
+                        // as-is, without deriving `server_used_ecn`.
+                        self.state = TcpFlowState::Finished;
+                        return FlowStatus::Done;
+                    }
+                    self.state = TcpFlowState::Data { index: 0 };
+                }
+                TcpFlowState::Data { index } => {
+                    if index >= self.segments.len() {
+                        return self.finish();
+                    }
+                    self.exchange_segment(index, now, net);
+                    self.state = TcpFlowState::Data { index: index + 1 };
+                    if self.pacing > SimDuration::ZERO && index + 1 < self.segments.len() {
+                        return FlowStatus::Sleep(now + self.pacing);
+                    }
+                }
+                TcpFlowState::Finished => return FlowStatus::Done,
+            }
+        }
+    }
+}
+
 /// Run one TCP connection between a client at `client_addr` and a server at
 /// `server_addr` over `path`, returning the scanner's observations.
+///
+/// A thin wrapper over a one-flow engine with no shared queues: results are
+/// bit-identical to the historical straight-line exchange.
 pub fn run_tcp_connection<R: Rng + ?Sized>(
     config: TcpClientConfig,
     behavior: TcpServerBehavior,
@@ -165,135 +447,51 @@ pub fn run_tcp_connection<R: Rng + ?Sized>(
     path: &DuplexPath,
     rng: &mut R,
 ) -> TcpReport {
-    let wire = Wire {
-        client: client_addr,
-        server: server_addr,
-        path,
-    };
-    let mut report = TcpReport::default();
-    let client_port = 52_000u16;
-    let server_port = 443u16;
+    let mut flow = TcpFlow::new(config, behavior, client_addr, server_addr, path, rng);
+    let mut engine = Engine::new(SharedQueues::new());
+    engine.add_flow(&mut flow);
+    engine.run();
+    drop(engine);
+    flow.into_report()
+}
 
-    // --- Handshake -------------------------------------------------------
-    let syn_flags = if config.ecn_enabled {
-        TcpFlags::ECN_SETUP_SYN
-    } else {
-        TcpFlags {
-            syn: true,
-            ..TcpFlags::default()
-        }
-    };
-    // The SYN itself is never ECT-marked (RFC 3168 §6.1.1).
-    let syn = TcpHeader::new(client_port, server_port, 1_000, 0, syn_flags);
-    let Some(at_server) = wire.send_forward(rng, EcnCodepoint::NotEct, syn, &[]) else {
-        report.forward_losses += 1;
-        return report;
-    };
-    let Some((syn_seen, _)) = decode(&at_server) else {
-        return report;
-    };
-    report.server_observed_ecn.record(at_server.header.ecn());
-
-    // The server accepts ECN only if the SYN still looks like an ECN setup
-    // (middleboxes clearing TCP flags are out of scope — the paper found the
-    // relevant impairments on the IP layer).
-    let server_ecn = behavior.negotiate_ecn && syn_seen.flags.is_ecn_setup_syn();
-    let syn_ack_flags = TcpFlags {
-        syn: true,
-        ack: true,
-        ece: server_ecn,
-        ..TcpFlags::default()
-    };
-    let syn_ack = TcpHeader::new(server_port, client_port, 5_000, 1_001, syn_ack_flags);
-    let Some(at_client) = wire.send_reverse(rng, EcnCodepoint::NotEct, syn_ack, &[]) else {
-        return report;
-    };
-    let Some((syn_ack_seen, _)) = decode(&at_client) else {
-        return report;
-    };
-    report.received_ecn.record(at_client.header.ecn());
-    report.connected = true;
-    report.negotiated = config.ecn_enabled && syn_ack_seen.flags.is_ecn_setup_syn_ack();
-
-    // Client data codepoint: only marked if ECN was negotiated.
-    let client_data_ecn = if report.negotiated {
-        config.probe_codepoint
-    } else {
-        EcnCodepoint::NotEct
-    };
-    let server_data_ecn = if server_ecn {
-        behavior.egress_ecn
-    } else {
-        EcnCodepoint::NotEct
-    };
-
-    // --- Request + probe segments ----------------------------------------
-    let mut server_saw_ce = false;
-    let mut client_seq = 1_001u32;
-    let request = b"GET / HTTP/1.1\r\nhost: probe\r\n\r\n".to_vec();
-    let mut segments: Vec<Vec<u8>> = vec![request];
-    for i in 0..config.probe_segments {
-        segments.push(format!("probe-{i}").into_bytes());
+/// Run one TCP connection while `cross` background flows push packets
+/// through the forward path's bottleneck router (its last hop).  CE marks on
+/// the probe segments — and therefore the server's ECE echo — then depend on
+/// the combined queue occupancy rather than the probe codepoint alone.
+///
+/// With a disabled scenario this falls back to [`run_tcp_connection`]
+/// exactly.
+pub fn run_tcp_connection_under_load<R: Rng + ?Sized>(
+    config: TcpClientConfig,
+    behavior: TcpServerBehavior,
+    client_addr: IpAddr,
+    server_addr: IpAddr,
+    path: &DuplexPath,
+    cross: &CrossTraffic,
+    rng: &mut R,
+) -> TcpReport {
+    // No scenario — or nothing to attach it to (a hop-less path has no
+    // bottleneck): run the plain single-flow exchange with an untouched RNG
+    // stream so the fallback really is bit-identical.
+    if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
+        return run_tcp_connection(config, behavior, client_addr, server_addr, path, rng);
     }
-
-    for (index, payload) in segments.iter().enumerate() {
-        let flags = TcpFlags {
-            ack: true,
-            psh: true,
-            // Acknowledge a previously echoed CE with CWR exactly once.
-            cwr: report.ce_mirrored && !report.cwr_acknowledged,
-            ..TcpFlags::default()
-        };
-        if flags.cwr {
-            report.cwr_acknowledged = true;
-        }
-        let header = TcpHeader::new(client_port, server_port, client_seq, 5_001, flags);
-        client_seq = client_seq.wrapping_add(payload.len() as u32);
-        let Some(at_server) = wire.send_forward(rng, client_data_ecn, header, payload) else {
-            report.forward_losses += 1;
-            continue;
-        };
-        report.server_observed_ecn.record(at_server.header.ecn());
-        if at_server.header.ecn() == EcnCodepoint::Ce {
-            server_saw_ce = true;
-        }
-
-        // The server acknowledges each segment; it echoes ECE while it has an
-        // unacknowledged CE (RFC 3168 §6.1.3) if it mirrors at all.
-        let echo = server_ecn && behavior.mirror_ce && server_saw_ce && !report.cwr_acknowledged;
-        let ack_flags = TcpFlags {
-            ack: true,
-            ece: echo,
-            ..TcpFlags::default()
-        };
-        let ack = TcpHeader::new(server_port, client_port, 5_001, client_seq, ack_flags);
-        if let Some(at_client) = wire.send_reverse(rng, server_data_ecn, ack, &[]) {
-            report.received_ecn.record(at_client.header.ecn());
-            if let Some((ack_seen, _)) = decode(&at_client) {
-                if ack_seen.flags.ece {
-                    report.ce_mirrored = true;
-                }
-            }
-        }
-
-        // Serve the HTTP response right after the request segment.
-        if index == 0 && behavior.serves_http {
-            let body = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok".to_vec();
-            let resp_flags = TcpFlags {
-                ack: true,
-                psh: true,
-                ..TcpFlags::default()
-            };
-            let resp = TcpHeader::new(server_port, client_port, 5_001, client_seq, resp_flags);
-            if let Some(at_client) = wire.send_reverse(rng, server_data_ecn, resp, &body) {
-                report.received_ecn.record(at_client.header.ecn());
-                report.response_received = true;
-            }
-        }
+    let (queues, mut loads) = cross
+        .instantiate(&path.forward, rng.gen())
+        .expect("enabled scenario with a bottleneck");
+    let mut engine = Engine::new(queues);
+    for load in loads.iter_mut() {
+        engine.add_flow(load);
     }
-
-    report.server_used_ecn = report.received_ecn.total() > 0;
-    report
+    // Pace the probes across the background burst so each segment samples
+    // the queue, rather than the whole exchange landing on one instant.
+    let mut flow = TcpFlow::new(config, behavior, client_addr, server_addr, path, rng)
+        .with_pacing(SimDuration::from_millis(1));
+    engine.add_flow(&mut flow);
+    engine.run();
+    drop(engine);
+    flow.into_report()
 }
 
 #[cfg(test)]
@@ -328,7 +526,11 @@ mod tests {
 
     #[test]
     fn ce_probe_against_full_ecn_server_is_mirrored() {
-        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::full_ecn(), &clean());
+        let report = run(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::full_ecn(),
+            &clean(),
+        );
         assert!(report.connected);
         assert!(report.negotiated);
         assert!(report.ce_mirrored);
@@ -340,7 +542,11 @@ mod tests {
 
     #[test]
     fn ect0_probe_is_not_echoed_as_ece() {
-        let report = run(TcpClientConfig::ect0(), TcpServerBehavior::full_ecn(), &clean());
+        let report = run(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            &clean(),
+        );
         assert!(report.negotiated);
         assert!(!report.ce_mirrored);
         assert!(report.server_observed_ecn.ect0 >= 5);
@@ -348,7 +554,11 @@ mod tests {
 
     #[test]
     fn non_ecn_server_refuses_negotiation() {
-        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::no_ecn(), &clean());
+        let report = run(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::no_ecn(),
+            &clean(),
+        );
         assert!(report.connected);
         assert!(!report.negotiated);
         assert!(!report.ce_mirrored);
@@ -358,7 +568,11 @@ mod tests {
 
     #[test]
     fn disabled_client_never_negotiates() {
-        let report = run(TcpClientConfig::disabled(), TcpServerBehavior::full_ecn(), &clean());
+        let report = run(
+            TcpClientConfig::disabled(),
+            TcpServerBehavior::full_ecn(),
+            &clean(),
+        );
         assert!(report.connected);
         assert!(!report.negotiated);
         assert_eq!(report.server_observed_ecn.total(), 0);
@@ -377,7 +591,11 @@ mod tests {
 
     #[test]
     fn mirror_only_server_does_not_use_ecn() {
-        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::mirror_only(), &clean());
+        let report = run(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::mirror_only(),
+            &clean(),
+        );
         assert!(report.ce_mirrored);
         assert!(!report.server_used_ecn);
     }
@@ -391,7 +609,11 @@ mod tests {
             false,
         );
         let path = DuplexPath::symmetric_clean_reverse(forward);
-        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::full_ecn(), &path);
+        let report = run(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::full_ecn(),
+            &path,
+        );
         assert!(report.negotiated, "negotiation is flag-based and survives");
         assert!(!report.ce_mirrored, "the CE mark never reaches the server");
         assert_eq!(report.server_observed_ecn.ce, 0);
@@ -408,7 +630,11 @@ mod tests {
             false,
         );
         let path = DuplexPath::symmetric_clean_reverse(forward);
-        let report = run(TcpClientConfig::force_ce(), TcpServerBehavior::full_ecn(), &path);
+        let report = run(
+            TcpClientConfig::force_ce(),
+            TcpServerBehavior::full_ecn(),
+            &path,
+        );
         assert!(report.negotiated);
         assert!(report.ce_mirrored);
     }
@@ -416,11 +642,70 @@ mod tests {
     #[test]
     fn total_loss_reports_unconnected() {
         use qem_netsim::{Hop, Path, Router};
-        let lossy = Path::new(vec![Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0)]);
+        let lossy = Path::new(vec![
+            Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0)
+        ]);
         let path = DuplexPath::new(lossy, Path::empty());
-        let report = run(TcpClientConfig::ect0(), TcpServerBehavior::full_ecn(), &path);
+        let report = run(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            &path,
+        );
         assert!(!report.connected);
         assert!(report.forward_losses >= 1);
+    }
+
+    #[test]
+    fn cross_traffic_triggers_ece_echo_for_ect0_probes() {
+        use qem_netsim::CrossTraffic;
+        let (c, s) = addrs();
+        let path = clean();
+
+        // ECT(0) probing alone never produces an ECE echo on a clean path…
+        let mut rng = StdRng::seed_from_u64(99);
+        let solo = run_tcp_connection(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+            &mut rng,
+        );
+        assert!(solo.negotiated);
+        assert!(!solo.ce_mirrored);
+        assert_eq!(solo.server_observed_ecn.ce, 0);
+
+        // …but behind a congested shared bottleneck the probes arrive CE and
+        // the server echoes ECE.
+        let mut rng = StdRng::seed_from_u64(99);
+        let loaded = run_tcp_connection_under_load(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+            &CrossTraffic::congested(),
+            &mut rng,
+        );
+        assert!(loaded.negotiated);
+        assert!(
+            loaded.server_observed_ecn.ce > 0,
+            "combined occupancy must CE-mark TCP probes"
+        );
+        assert!(loaded.ce_mirrored, "the server must echo the marks via ECE");
+
+        // A disabled scenario is the single-flow run, bit for bit.
+        let mut rng = StdRng::seed_from_u64(99);
+        let off = run_tcp_connection_under_load(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+            &CrossTraffic::none(),
+            &mut rng,
+        );
+        assert_eq!(off, solo);
     }
 
     #[test]

@@ -24,4 +24,6 @@ pub mod behavior;
 pub mod connection;
 
 pub use behavior::TcpServerBehavior;
-pub use connection::{run_tcp_connection, TcpClientConfig, TcpReport};
+pub use connection::{
+    run_tcp_connection, run_tcp_connection_under_load, TcpClientConfig, TcpFlow, TcpReport,
+};

@@ -82,7 +82,10 @@ impl TraceAnalysis {
     pub fn involved_asns(&self) -> Vec<Asn> {
         let mut out = Vec::new();
         for change in &self.changes {
-            for asn in [change.asn_before, change.asn_at_change].into_iter().flatten() {
+            for asn in [change.asn_before, change.asn_at_change]
+                .into_iter()
+                .flatten()
+            {
                 if !out.contains(&asn) {
                     out.push(asn);
                 }
@@ -169,9 +172,7 @@ pub fn analyze_trace(
 mod tests {
     use super::*;
     use crate::tracer::{trace_path, TraceConfig};
-    use qem_netsim::{
-        build_transit_path, Asn, DscpPolicy, PathBuilder, Router, TransitProfile,
-    };
+    use qem_netsim::{build_transit_path, Asn, DscpPolicy, PathBuilder, Router, TransitProfile};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::net::Ipv4Addr;

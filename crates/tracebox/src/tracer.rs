@@ -130,7 +130,8 @@ fn build_probe(
                 .with_dscp(config.probe_dscp),
         ),
         (IpAddr::V6(s), IpAddr::V6(d)) => {
-            let mut h = Ipv6Header::new(s, d, IpProtocol::Udp, ttl).with_ecn(config.probe_codepoint);
+            let mut h =
+                Ipv6Header::new(s, d, IpProtocol::Udp, ttl).with_ecn(config.probe_codepoint);
             h.dscp = config.probe_dscp;
             IpHeader::V6(h)
         }
@@ -182,7 +183,9 @@ pub fn trace_path<R: Rng + ?Sized>(
         let probe = build_probe(source, destination, ttl, config, u32::from(ttl));
         trace.probes_sent += 1;
         match path.transit(&probe, rng) {
-            TransitOutcome::TimeExceeded { response, delay, .. } => {
+            TransitOutcome::TimeExceeded {
+                response, delay, ..
+            } => {
                 consecutive_timeouts = 0;
                 trace.time_spent += delay;
                 let observed = parse_quote(&response);
@@ -220,7 +223,9 @@ pub fn trace_path<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qem_netsim::{build_transit_path, Asn, EcnPolicy, Hop, IcmpBehavior, PathBuilder, Router, TransitProfile};
+    use qem_netsim::{
+        build_transit_path, Asn, EcnPolicy, Hop, IcmpBehavior, PathBuilder, Router, TransitProfile,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::net::Ipv4Addr;
@@ -256,12 +261,20 @@ mod tests {
         let (src, dst) = endpoints();
         let mut rng = StdRng::seed_from_u64(2);
         let trace = trace_path(&path, src, dst, &TraceConfig::default(), &mut rng);
-        let observed: Vec<_> = trace.observed_hops().map(|h| h.observed_ecn.unwrap()).collect();
+        let observed: Vec<_> = trace
+            .observed_hops()
+            .map(|h| h.observed_ecn.unwrap())
+            .collect();
         assert!(observed.contains(&EcnCodepoint::Ect0));
         assert!(observed.contains(&EcnCodepoint::NotEct));
         // Once cleared it never comes back.
-        let first_clear = observed.iter().position(|e| *e == EcnCodepoint::NotEct).unwrap();
-        assert!(observed[first_clear..].iter().all(|e| *e == EcnCodepoint::NotEct));
+        let first_clear = observed
+            .iter()
+            .position(|e| *e == EcnCodepoint::NotEct)
+            .unwrap();
+        assert!(observed[first_clear..]
+            .iter()
+            .all(|e| *e == EcnCodepoint::NotEct));
     }
 
     #[test]
@@ -283,8 +296,9 @@ mod tests {
     fn too_many_silent_hops_abort_the_trace() {
         let mut builder = PathBuilder::new().transparent_hops(Asn::DFN, 1);
         for i in 0..8 {
-            builder = builder
-                .custom_hop(Router::transparent(20 + i, Asn::ARELION).with_icmp(IcmpBehavior::silent()));
+            builder = builder.custom_hop(
+                Router::transparent(20 + i, Asn::ARELION).with_icmp(IcmpBehavior::silent()),
+            );
         }
         let path = builder.transparent_hops(Asn(13335), 1).build();
         let (src, dst) = endpoints();
@@ -292,12 +306,7 @@ mod tests {
         let config = TraceConfig::default();
         let trace = trace_path(&path, src, dst, &config, &mut rng);
         assert!(!trace.destination_reached);
-        let trailing_timeouts = trace
-            .hops
-            .iter()
-            .rev()
-            .take_while(|h| h.timed_out)
-            .count() as u32;
+        let trailing_timeouts = trace.hops.iter().rev().take_while(|h| h.timed_out).count() as u32;
         assert_eq!(trailing_timeouts, config.max_consecutive_timeouts);
         assert!(trace.time_spent >= config.per_hop_timeout * 5);
     }
@@ -333,7 +342,7 @@ mod tests {
     #[test]
     fn lossy_first_hop_counts_as_timeout() {
         let path = qem_netsim::Path::new(vec![
-            Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0),
+            Hop::new(Router::transparent(1, Asn::DFN)).with_loss(1.0)
         ]);
         let (src, dst) = endpoints();
         let mut rng = StdRng::seed_from_u64(6);
@@ -358,6 +367,9 @@ mod tests {
         assert!(trace
             .observed_hops()
             .any(|h| h.observed_ecn == Some(EcnCodepoint::Ect1)));
-        assert!(trace.hops.iter().all(|h| h.router.map_or(true, |r| r.is_ipv6())));
+        assert!(trace
+            .hops
+            .iter()
+            .all(|h| h.router.map_or(true, |r| r.is_ipv6())));
     }
 }

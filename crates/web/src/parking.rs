@@ -26,7 +26,11 @@ pub fn is_parked(domain: &Domain) -> bool {
     domain
         .parking_ns
         .as_deref()
-        .map(|ns| PARKING_NS_SUFFIXES.iter().any(|suffix| ns.ends_with(suffix)))
+        .map(|ns| {
+            PARKING_NS_SUFFIXES
+                .iter()
+                .any(|suffix| ns.ends_with(suffix))
+        })
         .unwrap_or(false)
 }
 

@@ -182,7 +182,15 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(13335),
             sibling_asns: vec![Asn(209242)],
             segments: vec![SegmentSpec::new(
-                "cdn", 8_080_000, 352_480, CloudflareQuiche, false, Clean, 0.62, 90, FullEcn,
+                "cdn",
+                8_080_000,
+                352_480,
+                CloudflareQuiche,
+                false,
+                Clean,
+                0.62,
+                90,
+                FullEcn,
             )],
         },
         // Table 2 rank 2.  Most domains are Google's own services (no
@@ -194,15 +202,36 @@ pub fn default_landscape() -> LandscapeSpec {
             sibling_asns: vec![Asn(396982)],
             segments: vec![
                 SegmentSpec::new(
-                    "own-services", 5_500_000, 65_800, GoogleFrontend, false, Clean, 0.12, 90,
+                    "own-services",
+                    5_500_000,
+                    65_800,
+                    GoogleFrontend,
+                    false,
+                    Clean,
+                    0.12,
+                    90,
                     NoNegotiation,
                 ),
                 SegmentSpec::new(
-                    "wix-proxy", 121_400, 50, GooglePepyakaProxy, false, Clean, 0.20, 28,
+                    "wix-proxy",
+                    121_400,
+                    50,
+                    GooglePepyakaProxy,
+                    false,
+                    Clean,
+                    0.20,
+                    28,
                     MirrorOnly,
                 ),
                 SegmentSpec::new(
-                    "ect1-experiment", 24_500, 0, GoogleEct1Remark, false, Clean, 0.70, 16,
+                    "ect1-experiment",
+                    24_500,
+                    0,
+                    GoogleEct1Remark,
+                    false,
+                    Clean,
+                    0.70,
+                    16,
                     MirrorOnly,
                 ),
             ],
@@ -215,10 +244,50 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(47583),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("no-ecn", 962_950, 9_600, LiteSpeedNoEcn, false, Clean, 0.03, 85, FullEcn),
-                SegmentSpec::new("undercount", 80_000, 1_120, LiteSpeedEcnFlagOff, true, Clean, 0.20, 28, FullEcn),
-                SegmentSpec::new("remarked-path", 31_140, 300, LiteSpeedEcnFlagOff, false, arelion_remark, 0.0, 16, FullEcn),
-                SegmentSpec::new("cleared-path", 20_050, 400, LiteSpeedEcnFlagOn, false, arelion_clear, 0.0, 43, FullEcn),
+                SegmentSpec::new(
+                    "no-ecn",
+                    962_950,
+                    9_600,
+                    LiteSpeedNoEcn,
+                    false,
+                    Clean,
+                    0.03,
+                    85,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "undercount",
+                    80_000,
+                    1_120,
+                    LiteSpeedEcnFlagOff,
+                    true,
+                    Clean,
+                    0.20,
+                    28,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "remarked-path",
+                    31_140,
+                    300,
+                    LiteSpeedEcnFlagOff,
+                    false,
+                    arelion_remark,
+                    0.0,
+                    16,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "cleared-path",
+                    20_050,
+                    400,
+                    LiteSpeedEcnFlagOn,
+                    false,
+                    arelion_clear,
+                    0.0,
+                    43,
+                    FullEcn,
+                ),
             ],
         },
         // Table 2 rank 4.
@@ -227,7 +296,15 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(54113),
             sibling_asns: vec![],
             segments: vec![SegmentSpec::new(
-                "cdn", 242_600, 12_290, FastlyQuicly, false, Clean, 0.50, 90, FullEcn,
+                "cdn",
+                242_600,
+                12_290,
+                FastlyQuicly,
+                false,
+                Clean,
+                0.50,
+                90,
+                FullEcn,
             )],
         },
         // Table 2 rank 5; Table 6: 44 k undercount + 4.7 k capable.
@@ -236,9 +313,31 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(16276),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("no-ecn", 103_500, 800, NginxNoEcn, false, Clean, 0.10, 60, FullEcn),
-                SegmentSpec::new("undercount", 44_260, 200, LiteSpeedEcnFlagOff, true, Clean, 0.05, 28, FullEcn),
-                SegmentSpec::new("capable", 4_690, 100, LiteSpeedEcnFlagOn, false, Clean, 0.30, 8, FullEcn),
+                SegmentSpec::new(
+                    "no-ecn", 103_500, 800, NginxNoEcn, false, Clean, 0.10, 60, FullEcn,
+                ),
+                SegmentSpec::new(
+                    "undercount",
+                    44_260,
+                    200,
+                    LiteSpeedEcnFlagOff,
+                    true,
+                    Clean,
+                    0.05,
+                    28,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "capable",
+                    4_690,
+                    100,
+                    LiteSpeedEcnFlagOn,
+                    false,
+                    Clean,
+                    0.30,
+                    8,
+                    FullEcn,
+                ),
             ],
         },
         // Table 2 rank 6; Table 4: 58 % of its domains behind cleared paths
@@ -249,9 +348,39 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(55293),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("cleared-use", 78_980, 900, LiteSpeedEcnFlagOn, true, arelion_clear, 0.0, 43, FullEcn),
-                SegmentSpec::new("remarked-path", 48_990, 760, LiteSpeedEcnFlagOff, false, arelion_remark, 0.0, 16, FullEcn),
-                SegmentSpec::new("clean-no-ecn", 5_830, 770, LiteSpeedNoEcn, false, Clean, 0.0, 60, FullEcn),
+                SegmentSpec::new(
+                    "cleared-use",
+                    78_980,
+                    900,
+                    LiteSpeedEcnFlagOn,
+                    true,
+                    arelion_clear,
+                    0.0,
+                    43,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "remarked-path",
+                    48_990,
+                    760,
+                    LiteSpeedEcnFlagOff,
+                    false,
+                    arelion_remark,
+                    0.0,
+                    16,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "clean-no-ecn",
+                    5_830,
+                    770,
+                    LiteSpeedNoEcn,
+                    false,
+                    Clean,
+                    0.0,
+                    60,
+                    FullEcn,
+                ),
             ],
         },
         // Table 2 rank 7; Table 6: almost everything undercounts.
@@ -260,9 +389,39 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(32475),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("undercount", 113_340, 1_200, LiteSpeedEcnFlagOff, true, Clean, 0.0, 28, FullEcn),
-                SegmentSpec::new("capable", 1_080, 60, LiteSpeedEcnFlagOn, true, Clean, 0.0, 8, FullEcn),
-                SegmentSpec::new("no-ecn", 13_790, 200, LiteSpeedNoEcn, false, Clean, 0.0, 60, FullEcn),
+                SegmentSpec::new(
+                    "undercount",
+                    113_340,
+                    1_200,
+                    LiteSpeedEcnFlagOff,
+                    true,
+                    Clean,
+                    0.0,
+                    28,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "capable",
+                    1_080,
+                    60,
+                    LiteSpeedEcnFlagOn,
+                    true,
+                    Clean,
+                    0.0,
+                    8,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "no-ecn",
+                    13_790,
+                    200,
+                    LiteSpeedNoEcn,
+                    false,
+                    Clean,
+                    0.0,
+                    60,
+                    FullEcn,
+                ),
             ],
         },
         // Table 2 rank 8; Table 4: 100 % of tested domains behind cleared
@@ -273,8 +432,28 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(23352),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("cleared-use", 40_440, 150, LiteSpeedEcnFlagOn, true, arelion_clear, 0.0, 43, FullEcn),
-                SegmentSpec::new("cleared-no-use", 46_510, 150, LiteSpeedEcnFlagOn, false, arelion_clear, 0.0, 43, FullEcn),
+                SegmentSpec::new(
+                    "cleared-use",
+                    40_440,
+                    150,
+                    LiteSpeedEcnFlagOn,
+                    true,
+                    arelion_clear,
+                    0.0,
+                    43,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "cleared-no-use",
+                    46_510,
+                    150,
+                    LiteSpeedEcnFlagOn,
+                    false,
+                    arelion_clear,
+                    0.0,
+                    43,
+                    FullEcn,
+                ),
             ],
         },
         // Table 3 rank 5 / Table 6 capable rank 1: CloudFront with s2n-quic.
@@ -283,8 +462,28 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(16509),
             sibling_asns: vec![Asn(14618)],
             segments: vec![
-                SegmentSpec::new("cloudfront", 19_990, 3_190, S2nQuic, true, Clean, 0.25, 8, FullEcn),
-                SegmentSpec::new("other-aws", 40_000, 120, NginxNoEcn, false, Clean, 0.20, 40, FullEcn),
+                SegmentSpec::new(
+                    "cloudfront",
+                    19_990,
+                    3_190,
+                    S2nQuic,
+                    true,
+                    Clean,
+                    0.25,
+                    8,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "other-aws",
+                    40_000,
+                    120,
+                    NginxNoEcn,
+                    false,
+                    Clean,
+                    0.20,
+                    40,
+                    FullEcn,
+                ),
             ],
         },
         // Table 6 capable rank 3.
@@ -293,8 +492,20 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(24940),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("capable", 2_480, 80, GenericAccurate, true, Clean, 0.40, 8, FullEcn),
-                SegmentSpec::new("no-ecn", 25_000, 400, NginxNoEcn, false, Clean, 0.30, 40, FullEcn),
+                SegmentSpec::new(
+                    "capable",
+                    2_480,
+                    80,
+                    GenericAccurate,
+                    true,
+                    Clean,
+                    0.40,
+                    8,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "no-ecn", 25_000, 400, NginxNoEcn, false, Clean, 0.30, 40, FullEcn,
+                ),
             ],
         },
         // Table 6 capable rank 4.
@@ -303,8 +514,20 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(63410),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("capable", 1_530, 20, GenericAccurate, true, Clean, 0.20, 8, FullEcn),
-                SegmentSpec::new("no-ecn", 3_000, 20, NginxNoEcn, false, Clean, 0.10, 40, FullEcn),
+                SegmentSpec::new(
+                    "capable",
+                    1_530,
+                    20,
+                    GenericAccurate,
+                    true,
+                    Clean,
+                    0.20,
+                    8,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "no-ecn", 3_000, 20, NginxNoEcn, false, Clean, 0.10, 40, FullEcn,
+                ),
             ],
         },
         // Table 3 rank 16 / Table 6 undercount rank 5.
@@ -313,8 +536,28 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(19318),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("undercount", 38_570, 911, LiteSpeedEcnFlagOff, true, Clean, 0.0, 28, FullEcn),
-                SegmentSpec::new("no-ecn", 11_000, 220, LiteSpeedNoEcn, false, Clean, 0.0, 60, FullEcn),
+                SegmentSpec::new(
+                    "undercount",
+                    38_570,
+                    911,
+                    LiteSpeedEcnFlagOff,
+                    true,
+                    Clean,
+                    0.0,
+                    28,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "no-ecn",
+                    11_000,
+                    220,
+                    LiteSpeedNoEcn,
+                    false,
+                    Clean,
+                    0.0,
+                    60,
+                    FullEcn,
+                ),
             ],
         },
         // Table 6 re-marking rank 2.
@@ -323,8 +566,28 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(203118),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("remarked-path", 32_380, 150, LiteSpeedEcnFlagOff, false, arelion_remark, 0.0, 16, FullEcn),
-                SegmentSpec::new("no-ecn", 6_000, 50, LiteSpeedNoEcn, false, Clean, 0.0, 60, FullEcn),
+                SegmentSpec::new(
+                    "remarked-path",
+                    32_380,
+                    150,
+                    LiteSpeedEcnFlagOff,
+                    false,
+                    arelion_remark,
+                    0.0,
+                    16,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "no-ecn",
+                    6_000,
+                    50,
+                    LiteSpeedNoEcn,
+                    false,
+                    Clean,
+                    0.0,
+                    60,
+                    FullEcn,
+                ),
             ],
         },
         // Table 6 re-marking rank 5; the double rewrite (§7.3) is seen here.
@@ -333,8 +596,20 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(32354),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("remarked-path", 13_270, 40, LiteSpeedEcnFlagOff, false, arelion_cogent, 0.0, 16, FullEcn),
-                SegmentSpec::new("no-ecn", 5_000, 30, NginxNoEcn, false, Clean, 0.0, 40, FullEcn),
+                SegmentSpec::new(
+                    "remarked-path",
+                    13_270,
+                    40,
+                    LiteSpeedEcnFlagOff,
+                    false,
+                    arelion_cogent,
+                    0.0,
+                    16,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "no-ecn", 5_000, 30, NginxNoEcn, false, Clean, 0.0, 40, FullEcn,
+                ),
             ],
         },
         // Table 4: Contabo and Sharktech are mostly behind cleared paths.
@@ -343,8 +618,28 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(51167),
             sibling_asns: vec![],
             segments: vec![
-                SegmentSpec::new("cleared-path", 17_250, 60, LiteSpeedEcnFlagOn, false, arelion_clear, 0.0, 43, FullEcn),
-                SegmentSpec::new("clean-no-ecn", 930, 20, NginxNoEcn, false, Clean, 0.0, 40, FullEcn),
+                SegmentSpec::new(
+                    "cleared-path",
+                    17_250,
+                    60,
+                    LiteSpeedEcnFlagOn,
+                    false,
+                    arelion_clear,
+                    0.0,
+                    43,
+                    FullEcn,
+                ),
+                SegmentSpec::new(
+                    "clean-no-ecn",
+                    930,
+                    20,
+                    NginxNoEcn,
+                    false,
+                    Clean,
+                    0.0,
+                    40,
+                    FullEcn,
+                ),
             ],
         },
         ProviderSpec {
@@ -352,7 +647,15 @@ pub fn default_landscape() -> LandscapeSpec {
             asn: Asn(46844),
             sibling_asns: vec![],
             segments: vec![SegmentSpec::new(
-                "cleared-path", 16_970, 30, GenericAccurate, false, arelion_clear, 0.0, 43, FullEcn,
+                "cleared-path",
+                16_970,
+                30,
+                GenericAccurate,
+                false,
+                arelion_clear,
+                0.0,
+                43,
+                FullEcn,
             )],
         },
     ];
@@ -363,9 +666,18 @@ pub fn default_landscape() -> LandscapeSpec {
     // exactly as the paper does, while the per-class totals of Table 5 still
     // come out (undercount 233 k, re-marking 151 k, capable 8 k, cleared 110 k).
     const LONG_TAIL_NAMES: [&str; 12] = [
-        "NovaHost", "BlueRack Hosting", "Webspace24", "Krystal Cloud", "HostPoint",
-        "ServerMania", "Infomaniak", "Loopia", "WebSupport", "One.com Group",
-        "Combell", "Zomro",
+        "NovaHost",
+        "BlueRack Hosting",
+        "Webspace24",
+        "Krystal Cloud",
+        "HostPoint",
+        "ServerMania",
+        "Infomaniak",
+        "Loopia",
+        "WebSupport",
+        "One.com Group",
+        "Combell",
+        "Zomro",
     ];
     let mut providers = providers;
     let tail = LONG_TAIL_NAMES.len() as u64;
@@ -375,11 +687,61 @@ pub fn default_landscape() -> LandscapeSpec {
         // mirroring share the paper reports.
         let top = if i == 0 { 1 } else { 0 };
         let mut segments = vec![
-            SegmentSpec::new("undercount", 232_980 / tail, 4_000 * top, LiteSpeedEcnFlagOff, true, Clean, 0.10, 28, FullEcn),
-            SegmentSpec::new("remarked-path", 151_450 / tail, 3_000 * top, LiteSpeedEcnFlagOff, false, arelion_remark, 0.0, 16, FullEcn),
-            SegmentSpec::new("capable", 8_350 / tail, 2_500 * top, GenericAccurate, true, Clean, 0.20, 8, FullEcn),
-            SegmentSpec::new("cleared-path", 110_050 / tail, 500 * top, LiteSpeedEcnFlagOn, true, arelion_clear, 0.0, 43, FullEcn),
-            SegmentSpec::new("no-ecn", 999_746 / tail, 62_909 / tail, NginxNoEcn, false, Clean, 0.05, 60, FullEcn),
+            SegmentSpec::new(
+                "undercount",
+                232_980 / tail,
+                4_000 * top,
+                LiteSpeedEcnFlagOff,
+                true,
+                Clean,
+                0.10,
+                28,
+                FullEcn,
+            ),
+            SegmentSpec::new(
+                "remarked-path",
+                151_450 / tail,
+                3_000 * top,
+                LiteSpeedEcnFlagOff,
+                false,
+                arelion_remark,
+                0.0,
+                16,
+                FullEcn,
+            ),
+            SegmentSpec::new(
+                "capable",
+                8_350 / tail,
+                2_500 * top,
+                GenericAccurate,
+                true,
+                Clean,
+                0.20,
+                8,
+                FullEcn,
+            ),
+            SegmentSpec::new(
+                "cleared-path",
+                110_050 / tail,
+                500 * top,
+                LiteSpeedEcnFlagOn,
+                true,
+                arelion_clear,
+                0.0,
+                43,
+                FullEcn,
+            ),
+            SegmentSpec::new(
+                "no-ecn",
+                999_746 / tail,
+                62_909 / tail,
+                NginxNoEcn,
+                false,
+                Clean,
+                0.05,
+                60,
+                FullEcn,
+            ),
         ];
         if i == 0 {
             // The four "All CE" domains of Table 5 sit behind a single
@@ -491,7 +853,12 @@ mod tests {
             .filter(|s| {
                 // A segment nominally mirrors if its stack mirrors in April 2023
                 // and the forward path does not clear the codepoints.
-                let b = s.stack.behavior_at(crate::snapshot::SnapshotDate::APR_2023, 0.5, s.uses_ecn, false);
+                let b = s.stack.behavior_at(
+                    crate::snapshot::SnapshotDate::APR_2023,
+                    0.5,
+                    s.uses_ecn,
+                    false,
+                );
                 b.mirroring.mirrors()
                     && !matches!(s.transit_v4, TransitProfile::Clearing { .. })
                     && !matches!(s.transit_v4, TransitProfile::RemarkThenClear { .. })

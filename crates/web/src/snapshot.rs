@@ -125,8 +125,14 @@ mod tests {
             );
         }
         // Year boundaries land on real months.
-        assert_eq!(SnapshotDate::from_months_since_start(6), SnapshotDate::new(2022, 12));
-        assert_eq!(SnapshotDate::from_months_since_start(7), SnapshotDate::new(2023, 1));
+        assert_eq!(
+            SnapshotDate::from_months_since_start(6),
+            SnapshotDate::new(2022, 12)
+        );
+        assert_eq!(
+            SnapshotDate::from_months_since_start(7),
+            SnapshotDate::new(2023, 1)
+        );
     }
 
     #[test]

@@ -296,16 +296,27 @@ mod tests {
 
     #[test]
     fn litespeed_holdouts_stay_on_draft_27() {
-        let b = StackProfile::LiteSpeedEcnFlagOff.behavior_at(SnapshotDate::APR_2023, 0.99, false, false);
+        let b = StackProfile::LiteSpeedEcnFlagOff.behavior_at(
+            SnapshotDate::APR_2023,
+            0.99,
+            false,
+            false,
+        );
         assert_eq!(b.supported_versions, vec![QuicVersion::DRAFT_27]);
         assert!(b.mirroring.mirrors());
     }
 
     #[test]
     fn litespeed_ecn_flag_on_is_accurate() {
-        let b = StackProfile::LiteSpeedEcnFlagOn.behavior_at(SnapshotDate::APR_2023, 0.1, false, false);
+        let b =
+            StackProfile::LiteSpeedEcnFlagOn.behavior_at(SnapshotDate::APR_2023, 0.1, false, false);
         assert_eq!(b.mirroring, EcnMirroringBehavior::Accurate);
-        let off = StackProfile::LiteSpeedEcnFlagOff.behavior_at(SnapshotDate::APR_2023, 0.1, false, false);
+        let off = StackProfile::LiteSpeedEcnFlagOff.behavior_at(
+            SnapshotDate::APR_2023,
+            0.1,
+            false,
+            false,
+        );
         assert_eq!(off.mirroring, EcnMirroringBehavior::MirrorOnlyHandshake);
     }
 
@@ -335,10 +346,13 @@ mod tests {
 
     #[test]
     fn pepyaka_has_google_transport_params_but_own_header() {
-        let b = StackProfile::GooglePepyakaProxy.behavior_at(SnapshotDate::APR_2023, 0.0, false, false);
+        let b =
+            StackProfile::GooglePepyakaProxy.behavior_at(SnapshotDate::APR_2023, 0.0, false, false);
         assert_eq!(
             b.transport_params.fingerprint(),
-            StackProfile::GoogleFrontend.transport_params().fingerprint()
+            StackProfile::GoogleFrontend
+                .transport_params()
+                .fingerprint()
         );
         assert_eq!(b.server_header.as_deref(), Some("Pepyaka/4.12"));
         assert_eq!(b.via_header.as_deref(), Some("1.1 google"));
@@ -346,8 +360,14 @@ mod tests {
 
     #[test]
     fn unknown_header_litespeed_shares_fingerprint_with_named_litespeed() {
-        let named = StackProfile::LiteSpeedEcnFlagOff.behavior_at(SnapshotDate::APR_2023, 0.3, false, false);
-        let unnamed = StackProfile::LiteSpeedEcnFlagOff.behavior_at(SnapshotDate::APR_2023, 0.3, false, true);
+        let named = StackProfile::LiteSpeedEcnFlagOff.behavior_at(
+            SnapshotDate::APR_2023,
+            0.3,
+            false,
+            false,
+        );
+        let unnamed =
+            StackProfile::LiteSpeedEcnFlagOff.behavior_at(SnapshotDate::APR_2023, 0.3, false, true);
         assert_eq!(named.server_header.as_deref(), Some("LiteSpeed"));
         assert_eq!(unnamed.server_header, None);
         assert_eq!(

@@ -1,7 +1,9 @@
 //! The seeded universe generator: hosts, domains, DNS and toplists.
 
 use crate::as2org::AsOrgDb;
-use crate::providers::{default_landscape, BackgroundSpec, LandscapeSpec, SegmentSpec, TcpEcnProfile};
+use crate::providers::{
+    default_landscape, BackgroundSpec, LandscapeSpec, SegmentSpec, TcpEcnProfile,
+};
 use crate::snapshot::SnapshotDate;
 use crate::stacks::StackProfile;
 use qem_netsim::{build_duplex_path, Asn, DuplexPath, TransitProfile};
@@ -237,9 +239,19 @@ impl Universe {
                 .register_org(provider.asn, provider.name, &provider.sibling_asns);
             let octet = 60 + index as u8;
             universe.as_org.register_v4_prefix(octet, provider.asn);
-            universe.as_org.register_v6_prefix(index as u16, provider.asn);
+            universe
+                .as_org
+                .register_v6_prefix(index as u16, provider.asn);
             for segment in &provider.segments {
-                universe.add_segment(provider_idx, octet, index as u16, segment, landscape, &mut rng, config);
+                universe.add_segment(
+                    provider_idx,
+                    octet,
+                    index as u16,
+                    segment,
+                    landscape,
+                    &mut rng,
+                    config,
+                );
             }
         }
 
@@ -255,10 +267,15 @@ impl Universe {
             universe.as_org.register_org(asn, &name, &[]);
             let octet = 140 + index as u8;
             universe.as_org.register_v4_prefix(octet, asn);
-            universe
-                .as_org
-                .register_v6_prefix(1000 + index as u16, asn);
-            universe.add_background(provider_idx, octet, 1000 + index as u16, background, &mut rng, config);
+            universe.as_org.register_v6_prefix(1000 + index as u16, asn);
+            universe.add_background(
+                provider_idx,
+                octet,
+                1000 + index as u16,
+                background,
+                &mut rng,
+                config,
+            );
         }
 
         // Unresolved domains.
@@ -305,8 +322,7 @@ impl Universe {
         if total == 0 {
             return;
         }
-        let hosts_needed =
-            total.div_ceil(u64::from(segment.domains_per_ip)).max(1);
+        let hosts_needed = total.div_ceil(u64::from(segment.domains_per_ip)).max(1);
         let first_host = self.hosts.len();
         let asn = self.providers[provider_idx].asn;
         for h in 0..hosts_needed {
@@ -320,7 +336,16 @@ impl Universe {
             );
             let has_v6 = rng.gen_bool(segment.ipv6_share.clamp(0.0, 1.0));
             let ipv6 = has_v6.then(|| {
-                Ipv6Addr::new(0x2001, 0x0db8, v6_index, 0, 0, 0, (host_no >> 16) as u16, host_no as u16)
+                Ipv6Addr::new(
+                    0x2001,
+                    0x0db8,
+                    v6_index,
+                    0,
+                    0,
+                    0,
+                    (host_no >> 16) as u16,
+                    host_no as u16,
+                )
             });
             self.hosts.push(Host {
                 id,
@@ -333,14 +358,18 @@ impl Universe {
                 uses_ecn: segment.uses_ecn,
                 upgrade_quantile: rng.gen::<f64>(),
                 availability_quantile: rng.gen::<f64>(),
-                suppress_server_header: rng.gen_bool(segment.header_suppressed_share.clamp(0.0, 1.0)),
+                suppress_server_header: rng
+                    .gen_bool(segment.header_suppressed_share.clamp(0.0, 1.0)),
                 transit_v4: segment.transit_v4,
                 transit_v6: segment.transit_v6,
                 tcp_profile: segment.tcp,
             });
             let _ = h;
         }
-        let provider_name = self.providers[provider_idx].name.to_lowercase().replace(' ', "-");
+        let provider_name = self.providers[provider_idx]
+            .name
+            .to_lowercase()
+            .replace(' ', "-");
         for i in 0..cno {
             let host = first_host + (i % hosts_needed) as usize;
             let parked = rng.gen_bool(landscape.parked_share.clamp(0.0, 1.0));
@@ -380,8 +409,7 @@ impl Universe {
         if total == 0 {
             return;
         }
-        let hosts_needed =
-            total.div_ceil(u64::from(background.domains_per_ip)).max(1);
+        let hosts_needed = total.div_ceil(u64::from(background.domains_per_ip)).max(1);
         let first_host = self.hosts.len();
         let asn = self.providers[provider_idx].asn;
         for _ in 0..hosts_needed {
@@ -397,7 +425,16 @@ impl Universe {
                     (host_no & 0xff) as u8,
                 ),
                 ipv6: has_v6.then(|| {
-                    Ipv6Addr::new(0x2001, 0x0db8, v6_index, 0, 0, 0, (host_no >> 16) as u16, host_no as u16)
+                    Ipv6Addr::new(
+                        0x2001,
+                        0x0db8,
+                        v6_index,
+                        0,
+                        0,
+                        0,
+                        (host_no >> 16) as u16,
+                        host_no as u16,
+                    )
                 }),
                 provider: provider_idx,
                 asn,
@@ -465,7 +502,10 @@ impl Universe {
 
     /// Number of hosts that answer QUIC at `date`.
     pub fn quic_host_count(&self, date: SnapshotDate) -> usize {
-        self.hosts.iter().filter(|h| h.quic_available_at(date)).count()
+        self.hosts
+            .iter()
+            .filter(|h| h.quic_available_at(date))
+            .count()
     }
 }
 
@@ -543,10 +583,7 @@ mod tests {
             .cno_domains()
             .filter(|d| d.host.map(|h| u.hosts[h].stack.is_some()).unwrap_or(false))
             .count() as f64;
-        let resolved_cno = u
-            .cno_domains()
-            .filter(|d| d.host.is_some())
-            .count() as f64;
+        let resolved_cno = u.cno_domains().filter(|d| d.host.is_some()).count() as f64;
         // Paper: 17.3 M QUIC of 159.4 M resolved ≈ 10.9 %.
         let share = quic_cno / resolved_cno;
         assert!((0.07..=0.15).contains(&share), "share = {share}");
@@ -578,9 +615,17 @@ mod tests {
     #[test]
     fn ipv6_coverage_is_partial_and_cloudflare_heavy() {
         let u = universe();
-        let v6_hosts = u.hosts.iter().filter(|h| h.ipv6.is_some() && h.stack.is_some()).count();
+        let v6_hosts = u
+            .hosts
+            .iter()
+            .filter(|h| h.ipv6.is_some() && h.stack.is_some())
+            .count();
         assert!(v6_hosts > 0);
-        let cloudflare_idx = u.providers.iter().position(|p| p.name == "Cloudflare").unwrap();
+        let cloudflare_idx = u
+            .providers
+            .iter()
+            .position(|p| p.name == "Cloudflare")
+            .unwrap();
         let cf_v6_domains = u
             .domains
             .iter()
@@ -599,7 +644,10 @@ mod tests {
                     .unwrap_or(false)
             })
             .count();
-        assert!(cf_v6_domains * 2 > all_v6_quic_domains, "Cloudflare should dominate IPv6");
+        assert!(
+            cf_v6_domains * 2 > all_v6_quic_domains,
+            "Cloudflare should dominate IPv6"
+        );
     }
 
     #[test]

@@ -3,13 +3,52 @@
 //! Tables 1, 2, 3, 5 and 6 plus Figure 5 and the §5.1 parking check.
 //!
 //! Run with: `cargo run --release --example census`
+//!
+//! Options:
+//!
+//! * `--workers <n>` — worker-thread budget (`0` = one per core; the
+//!   default).  The output is byte-identical for every value — CI's
+//!   `determinism-gate` job diffs a `--workers 1` run against `--workers 0`.
+//! * `--tiny` — use the tiny test universe instead of the full 1:250 scale
+//!   (what CI runs to keep the gate fast).
 
 use qem_core::reports::{figure5, table1, table2, table3, table5, table6};
 use qem_core::{Campaign, CampaignOptions};
 use qem_web::{parking, Universe, UniverseConfig};
 
+fn parse_args() -> (usize, bool) {
+    let mut workers = 0usize;
+    let mut tiny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--workers requires a number");
+                    std::process::exit(2);
+                });
+                workers = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid worker count: {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--tiny" => tiny = true,
+            other => {
+                eprintln!("unknown argument: {other} (expected --workers <n> or --tiny)");
+                std::process::exit(2);
+            }
+        }
+    }
+    (workers, tiny)
+}
+
 fn main() {
-    let config = UniverseConfig::default();
+    let (workers, tiny) = parse_args();
+    let config = if tiny {
+        UniverseConfig::tiny()
+    } else {
+        UniverseConfig::default()
+    };
     println!(
         "generating universe (scale 1:{}) ...",
         (1.0 / config.scale).round() as u64
@@ -24,7 +63,11 @@ fn main() {
 
     let campaign = Campaign::new(&universe);
     println!("running main vantage point campaign (IPv4 + IPv6, week 15/13 2023) ...\n");
-    let result = campaign.run_main(&CampaignOptions::paper_default(), true);
+    let options = CampaignOptions {
+        workers,
+        ..CampaignOptions::paper_default()
+    };
+    let result = campaign.run_main(&options, true);
 
     println!("{}", table1(&universe, &result.v4));
     println!("{}", table2(&universe, &result.v4));

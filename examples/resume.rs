@@ -50,6 +50,7 @@ fn main() {
                 trace_sample_probability: options.trace_sample_probability,
                 workers: options.workers,
                 seed: options.seed,
+                cross_traffic: options.cross_traffic,
             },
         );
         scan_into(&scanner, &population[..cut], |m| writer.append(m)).expect("stream scan");
@@ -76,7 +77,10 @@ fn main() {
         "         reused {} persisted hosts, scanned {} remaining hosts",
         outcome.skipped_hosts, outcome.scanned_hosts
     );
-    assert!(outcome.skipped_hosts > 0, "resume must skip persisted hosts");
+    assert!(
+        outcome.skipped_hosts > 0,
+        "resume must skip persisted hosts"
+    );
     assert_eq!(
         outcome.skipped_hosts + outcome.scanned_hosts,
         population.len()
@@ -89,7 +93,10 @@ fn main() {
     let in_memory = campaign.run_snapshot(&vantage, &options, false);
     let from_store = table1(&universe, &outcome.store).to_string();
     let from_memory = table1(&universe, &in_memory).to_string();
-    assert_eq!(from_store, from_memory, "store-backed report must be identical");
+    assert_eq!(
+        from_store, from_memory,
+        "store-backed report must be identical"
+    );
     println!("{from_store}");
     println!("store-backed and in-memory Table 1 are byte-identical ✓");
 

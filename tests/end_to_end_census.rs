@@ -78,7 +78,9 @@ fn census_reproduces_the_papers_headline_numbers() {
     let t3 = table3(&universe, &result.v4);
     assert_eq!(t3.row("Cloudflare").unwrap().rank, 1);
     // Amazon is the top toplist ECN supporter (s2n-quic on CloudFront).
-    let amazon = t3.row("Amazon").expect("Amazon listed in the toplist table");
+    let amazon = t3
+        .row("Amazon")
+        .expect("Amazon listed in the toplist table");
     assert!(amazon.mirroring as f64 > 0.6 * amazon.total as f64);
     assert!(amazon.uses > 0);
 

@@ -1,0 +1,95 @@
+//! Byte-identity gate for the report pipeline.
+//!
+//! Every table and figure of the paper, rendered from a tiny-universe
+//! campaign, must match the committed golden snapshot byte for byte.  This is
+//! what lets refactors of the connection drivers (e.g. moving them onto the
+//! discrete-event engine) prove that the default measurement path is
+//! untouched: any behavioural drift — an extra RNG draw, a reordered transit,
+//! a changed timer — shows up here as a diff.
+//!
+//! To regenerate after an *intentional* change to the universe or the report
+//! formats, run:
+//!
+//! ```text
+//! QEM_UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+//!
+//! and commit the updated `tests/data/golden_reports_tiny.txt` together with
+//! the change that motivated it.
+
+use qem_core::reports::{
+    figure3, figure4, figure5, figure6, figure7, table1, table2, table3, table4, table5, table6,
+    table7,
+};
+use qem_core::{Campaign, CampaignOptions};
+use qem_web::{SnapshotDate, Universe, UniverseConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_reports_tiny.txt")
+}
+
+/// Render every table and figure the acceptance criteria name (Tables 1–7,
+/// Figures 3–8; Figure 8 shares its builder with Figure 4) into one string.
+fn render_all_reports() -> String {
+    let universe = Universe::generate(&UniverseConfig::tiny());
+    let campaign = Campaign::new(&universe);
+    let options = CampaignOptions {
+        workers: 1,
+        ..CampaignOptions::paper_default()
+    };
+
+    let main = campaign.run_main(&options, true);
+    let v6 = main.v6.as_ref().expect("IPv6 snapshot requested");
+
+    let longitudinal = campaign.run_longitudinal(
+        &[
+            SnapshotDate::JUN_2022,
+            SnapshotDate::FEB_2023,
+            SnapshotDate::APR_2023,
+        ],
+        &options,
+    );
+
+    let ce_options = CampaignOptions {
+        workers: 1,
+        ..CampaignOptions::ce_probing()
+    };
+    let ce = campaign.run_main(&ce_options, false);
+
+    let cloud = campaign.run_cloud(&main.v4, None, &options);
+
+    let mut out = String::new();
+    writeln!(out, "{}", table1(&universe, &main.v4)).unwrap();
+    writeln!(out, "{}", table2(&universe, &main.v4)).unwrap();
+    writeln!(out, "{}", table3(&universe, &main.v4)).unwrap();
+    writeln!(out, "{}", table4(&universe, &main.v4)).unwrap();
+    writeln!(out, "{}", table5(&universe, &main.v4, main.v6.as_ref())).unwrap();
+    writeln!(out, "{}", table6(&universe, &main.v4)).unwrap();
+    writeln!(out, "{}", table7(&universe, &main.v4)).unwrap();
+    writeln!(out, "{}", figure3(&universe, &longitudinal)).unwrap();
+    writeln!(out, "{}", figure4(&universe, &longitudinal)).unwrap();
+    writeln!(out, "{}", figure5(&universe, &main.v4, v6)).unwrap();
+    writeln!(out, "{}", figure6(&universe, &ce.v4)).unwrap();
+    writeln!(out, "{}", figure7(&universe, &main.v4, &cloud)).unwrap();
+    out
+}
+
+#[test]
+fn reports_match_golden_snapshot() {
+    let rendered = render_all_reports();
+    let path = golden_path();
+    if std::env::var_os("QEM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("data dir")).expect("create data dir");
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden snapshot missing — run with QEM_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        golden, rendered,
+        "report output drifted from the golden snapshot; if the change is \
+         intentional, regenerate with QEM_UPDATE_GOLDEN=1"
+    );
+}

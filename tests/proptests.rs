@@ -2,7 +2,9 @@
 //! server behaviour and loss pattern.
 
 use proptest::prelude::*;
-use qem_netsim::{build_transit_path, Asn, DuplexPath, EcnPolicy, Hop, Path, Router, TransitProfile};
+use qem_netsim::{
+    build_transit_path, Asn, DuplexPath, EcnPolicy, Hop, Path, Router, TransitProfile,
+};
 use qem_packet::ecn::EcnCodepoint;
 use qem_quic::ecn::EcnValidationState;
 use qem_quic::{run_connection, ClientConfig, DriverConfig, EcnMirroringBehavior, ServerBehavior};
@@ -35,7 +37,10 @@ fn arb_mirroring() -> impl Strategy<Value = EcnMirroringBehavior> {
 }
 
 fn endpoints() -> (IpAddr, IpAddr) {
-    ("192.0.2.10".parse().unwrap(), "198.51.100.99".parse().unwrap())
+    (
+        "192.0.2.10".parse().unwrap(),
+        "198.51.100.99".parse().unwrap(),
+    )
 }
 
 proptest! {

@@ -19,10 +19,7 @@ fn universe() -> Universe {
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "qem-determinism-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("qem-determinism-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -198,7 +195,10 @@ fn store_backed_longitudinal_reports_are_byte_identical() {
     let full = store.stored_record_count(0).expect("first date count");
     for idx in 1..dates.len() {
         let delta = store.stored_record_count(idx).expect("delta count");
-        assert!(delta < full, "date {idx}: delta {delta} not smaller than {full}");
+        assert!(
+            delta < full,
+            "date {idx}: delta {delta} not smaller than {full}"
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -271,6 +271,7 @@ fn resumed_campaign_reports_are_byte_identical() {
                 trace_sample_probability: options.trace_sample_probability,
                 workers: options.workers,
                 seed: options.seed,
+                cross_traffic: options.cross_traffic,
             },
         );
         scan_into(&scanner, &population[..cut], |m| writer.append(m)).expect("stream scan");
@@ -280,8 +281,14 @@ fn resumed_campaign_reports_are_byte_identical() {
     let outcome = campaign
         .resume_snapshot_to_store(&dir, 4)
         .expect("resume campaign");
-    assert!(outcome.skipped_hosts > 0, "resume must reuse persisted hosts");
-    assert_eq!(outcome.skipped_hosts + outcome.scanned_hosts, population.len());
+    assert!(
+        outcome.skipped_hosts > 0,
+        "resume must reuse persisted hosts"
+    );
+    assert_eq!(
+        outcome.skipped_hosts + outcome.scanned_hosts,
+        population.len()
+    );
     assert_eq!(
         table1(&universe, &outcome.store).to_string(),
         table1(&universe, &reference).to_string(),
@@ -293,6 +300,67 @@ fn resumed_campaign_reports_are_byte_identical() {
         "resumed table5 diverged"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The engine-refactor acceptance bar: with `cross_traffic` off the scan is
+/// byte-identical to the legacy single-flow drivers (also pinned against the
+/// committed golden snapshot in `tests/golden_reports.rs`), while an enabled
+/// scenario produces CE marks no single-flow run ever sees — and stays
+/// deterministic across worker counts and repeated runs.
+#[test]
+fn cross_traffic_is_off_by_default_and_deterministic_when_on() {
+    use qem_core::CrossTraffic;
+    let universe = universe();
+
+    // `paper_default` has the scenario disabled; spelling it out must not
+    // change a single bit.
+    let baseline = scan_with_workers(&universe, 1);
+    let explicit_off = Scanner::new(
+        &universe,
+        VantagePoint::main(),
+        ScanOptions {
+            workers: 1,
+            cross_traffic: CrossTraffic::none(),
+            ..ScanOptions::paper_default(SnapshotDate::APR_2023)
+        },
+    )
+    .scan_all();
+    assert_eq!(baseline, explicit_off);
+
+    // With a congested bottleneck the measured flows pick up CE marks that
+    // the baseline (Ect0 probing, no shared queues) cannot produce outside
+    // the pathological MarkAllCe paths.
+    let loaded = |workers: usize| {
+        Scanner::new(
+            &universe,
+            VantagePoint::main(),
+            ScanOptions {
+                workers,
+                cross_traffic: CrossTraffic::congested(),
+                ..ScanOptions::paper_default(SnapshotDate::APR_2023)
+            },
+        )
+        .scan_all()
+    };
+    let under_load = loaded(1);
+    let mut hosts_gaining_ce = 0usize;
+    for (solo, shared) in baseline.iter().zip(&under_load) {
+        assert_eq!(solo.host_id, shared.host_id);
+        let solo_ce = solo.quic.as_ref().map_or(0, |q| q.mirrored_counts.ce);
+        let shared_ce = shared.quic.as_ref().map_or(0, |q| q.mirrored_counts.ce);
+        if solo_ce == 0 && shared_ce > 0 {
+            hosts_gaining_ce += 1;
+        }
+    }
+    assert!(
+        hosts_gaining_ce > 0,
+        "shared bottlenecks must create CE marks single-flow runs do not"
+    );
+
+    // The scenario is still a pure function of its inputs: same results at
+    // any worker count and on repeated runs (the engine's FIFO event order).
+    assert_eq!(under_load, loaded(1), "repeated runs diverged");
+    assert_eq!(under_load, loaded(4), "worker count changed loaded results");
 }
 
 #[test]

@@ -15,6 +15,49 @@ fn small_universe() -> Universe {
     })
 }
 
+/// Figure 6 under the opt-in `cross_traffic` scenario: ECT(0) probing never
+/// shows CE mirroring on idle paths (outside the pathological MarkAllCe
+/// hosts), but behind a congested shared bottleneck the same probes arrive
+/// CE-marked and the mirroring categories fill up — the load-dependent
+/// regime the single-flow drivers could not express.
+#[test]
+fn figure6_under_cross_traffic_shows_congestion_driven_mirroring() {
+    let universe = small_universe();
+    let campaign = Campaign::new(&universe);
+
+    let mirror_count = |fig: &qem_core::reports::Figure6| -> u64 {
+        fig.tcp
+            .get(&TcpCategory::CeMirrorNoUseNegotiated)
+            .copied()
+            .unwrap_or(0)
+            + fig
+                .tcp
+                .get(&TcpCategory::CeMirrorUseNegotiated)
+                .copied()
+                .unwrap_or(0)
+    };
+
+    let idle = campaign.run_main(&CampaignOptions::paper_default(), false);
+    let idle_fig = figure6(&universe, &idle.v4);
+
+    let loaded = campaign.run_main(
+        &CampaignOptions::paper_default().with_cross_traffic(qem_core::CrossTraffic::congested()),
+        false,
+    );
+    let loaded_fig = figure6(&universe, &loaded.v4);
+
+    assert!(
+        mirror_count(&loaded_fig) > mirror_count(&idle_fig),
+        "congestion must move domains into the CE-mirroring categories \
+         (idle: {idle_fig}, loaded: {loaded_fig})"
+    );
+
+    // And the dedicated preset is the CE-probing run plus the scenario.
+    let preset = CampaignOptions::ce_probing_under_load();
+    assert!(preset.cross_traffic.is_enabled());
+    assert_eq!(preset.probe, qem_core::scanner::ProbeMode::ForceCe);
+}
+
 #[test]
 fn figure6_tcp_supports_ecn_where_quic_does_not() {
     let universe = small_universe();
@@ -33,14 +76,22 @@ fn figure6_tcp_supports_ecn_where_quic_does_not() {
             .get(&TcpCategory::CeMirrorUseNegotiated)
             .copied()
             .unwrap_or(0);
-    let tcp_no_negotiation = fig.tcp.get(&TcpCategory::NoNegotiation).copied().unwrap_or(0);
+    let tcp_no_negotiation = fig
+        .tcp
+        .get(&TcpCategory::NoNegotiation)
+        .copied()
+        .unwrap_or(0);
     let quic_total: u64 = fig.quic.values().sum();
     let quic_mirror = fig
         .quic
         .get(&QuicCeCategory::CeMirrorNoUse)
         .copied()
         .unwrap_or(0)
-        + fig.quic.get(&QuicCeCategory::CeMirrorUse).copied().unwrap_or(0);
+        + fig
+            .quic
+            .get(&QuicCeCategory::CeMirrorUse)
+            .copied()
+            .unwrap_or(0);
 
     // Paper: ~70 % of domains mirror CE via TCP, ~20 % do not negotiate, and
     // fewer than 10 % mirror CE via QUIC.
@@ -75,7 +126,11 @@ fn figures_3_and_4_show_the_litespeed_dip_and_recovery() {
     assert!(apr.mirroring_total() > 3 * feb.mirroring_total());
     // The mirroring population is dominated by LiteSpeed, with the Pepyaka
     // (Google-proxied wix.com) block appearing only in 2023.
-    let litespeed_apr = apr.mirroring_by_family.get("LiteSpeed").copied().unwrap_or(0);
+    let litespeed_apr = apr
+        .mirroring_by_family
+        .get("LiteSpeed")
+        .copied()
+        .unwrap_or(0);
     let pepyaka_apr = apr.mirroring_by_family.get("Pepyaka").copied().unwrap_or(0);
     let pepyaka_jun = jun.mirroring_by_family.get("Pepyaka").copied().unwrap_or(0);
     assert!(litespeed_apr > apr.mirroring_total() / 2);

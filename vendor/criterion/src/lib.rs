@@ -7,31 +7,90 @@
 //! timed iterations and prints min / mean / max.  No statistics engine, no
 //! HTML reports — enough to keep `cargo bench` meaningful offline and let
 //! the real crate slot back in without source changes.
+//!
+//! Three extras support the CI quality gate:
+//!
+//! * **Filters** — positional CLI arguments (anything not starting with `-`)
+//!   select benchmarks by substring on the `group/id` name, mirroring the
+//!   real criterion's behaviour: `cargo bench -- ablation_store_codec`.
+//! * **Quick mode** — `QEM_BENCH_SAMPLES=<n>` overrides every sample count,
+//!   so CI can smoke the benches in seconds.
+//! * **JSON artifact** — `QEM_BENCH_JSON=<path>` appends one JSON object per
+//!   benchmark (`{"bench":…,"min_ns":…,"mean_ns":…,"max_ns":…,"samples":…}`),
+//!   which the `bench-smoke` CI job uploads as `BENCH_pr.json` to track the
+//!   performance trajectory per PR.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Benchmarks (as `group/id`) must contain one of these substrings to run;
+/// an empty list runs everything.
+fn cli_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|arg| !arg.starts_with('-'))
+        .collect()
+}
+
+/// Sample-count override for quick (CI smoke) runs.
+fn sample_override() -> Option<usize> {
+    std::env::var("QEM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// Append one result line to the `QEM_BENCH_JSON` artifact, if requested.
+fn record_json(id: &str, min: Duration, mean: Duration, max: Duration, samples: usize) {
+    let Ok(path) = std::env::var("QEM_BENCH_JSON") else {
+        return;
+    };
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("criterion stub: cannot open QEM_BENCH_JSON={path}");
+        return;
+    };
+    let _ = writeln!(
+        file,
+        "{{\"bench\":\"{id}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{samples}}}",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            default_sample_size: 10,
+            default_sample_size: sample_override().unwrap_or(10),
+            filters: cli_filters(),
         }
     }
 }
 
 impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
         BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: sample_override().unwrap_or(10),
             _criterion: self,
-            sample_size: 10,
         }
     }
 
@@ -40,21 +99,24 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.default_sample_size, f);
+        if self.selected(id) {
+            run_bench(id, self.default_sample_size, f);
+        }
         self
     }
 }
 
 /// A named group of benchmarks sharing settings.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
+    _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     /// Number of timed samples per benchmark in this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = sample_override().unwrap_or_else(|| n.max(1));
         self
     }
 
@@ -63,7 +125,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.sample_size, f);
+        let full = format!("{}/{id}", self.name);
+        if self._criterion.selected(&full) {
+            run_bench(&full, self.sample_size, f);
+        }
         self
     }
 
@@ -81,14 +146,15 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
         println!("  {id}: no samples recorded");
         return;
     }
-    let min = bencher.samples.iter().min().expect("non-empty");
-    let max = bencher.samples.iter().max().expect("non-empty");
+    let min = *bencher.samples.iter().min().expect("non-empty");
+    let max = *bencher.samples.iter().max().expect("non-empty");
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
     println!(
         "  {id}: min {min:?} / mean {mean:?} / max {max:?} ({} samples)",
         bencher.samples.len()
     );
+    record_json(id, min, mean, max, bencher.samples.len());
 }
 
 /// Timer handle passed to benchmark closures.

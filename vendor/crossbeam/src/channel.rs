@@ -140,11 +140,7 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = self
-                .shared
-                .available
-                .wait(state)
-                .expect("channel poisoned");
+            state = self.shared.available.wait(state).expect("channel poisoned");
         }
     }
 
@@ -171,7 +167,11 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().expect("channel poisoned").receivers += 1;
+        self.shared
+            .state
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
         Receiver {
             shared: Arc::clone(&self.shared),
         }

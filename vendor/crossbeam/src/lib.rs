@@ -47,10 +47,7 @@ mod tests {
     fn scope_joins_and_propagates_results() {
         let data = [1u64, 2, 3];
         let sum = scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&x| s.spawn(move |_| x * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();

@@ -36,10 +36,7 @@ impl SeedableRng for StdRng {
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -91,7 +88,7 @@ mod tests {
     }
 
     #[test]
-    fn f64_samples_are_unit_interval(){
+    fn f64_samples_are_unit_interval() {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..1_000 {
             let x: f64 = rng.gen();
