@@ -6,6 +6,8 @@
 //! `cargo bench` output doubles as the reproduction artefact, and Criterion
 //! then measures the pipeline stage the bench is named after.
 
+#![forbid(unsafe_code)]
+
 use qem_core::{Campaign, CampaignOptions, CampaignResult};
 use qem_web::{Universe, UniverseConfig};
 

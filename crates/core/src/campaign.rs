@@ -8,7 +8,7 @@ use crate::vantage::VantagePoint;
 use qem_netsim::CrossTraffic;
 use qem_web::{SnapshotDate, Universe};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Options shared by campaign runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,7 +103,7 @@ pub struct SnapshotMeasurement {
     /// The vantage point used.
     pub vantage: VantagePoint,
     /// Per-host measurements, keyed by host id.
-    pub hosts: HashMap<usize, HostMeasurement>,
+    pub hosts: BTreeMap<usize, HostMeasurement>,
 }
 
 impl SnapshotMeasurement {

@@ -169,6 +169,7 @@ impl ShardedExecutor {
         for shard in 0..shard_count {
             let start = shard * batch;
             let end = (start + batch).min(items.len());
+            // lint: allow(panic-policy) unbounded send with the receiver alive in scope cannot fail
             shard_tx.send((shard, start, end)).expect("queue shards");
         }
         drop(shard_tx);
@@ -207,8 +208,13 @@ impl ShardedExecutor {
                     };
                     while let Ok((shard, start, end)) = shard_rx.recv() {
                         {
+                            // A poisoned frontier means another worker already
+                            // panicked; re-panicking here merely joins the
+                            // teardown the cancellation guard is propagating.
+                            // lint: allow(panic-policy) poisoning propagation, not a new abort
                             let mut state = frontier.lock().expect("frontier lock poisoned");
                             while !state.cancelled && shard >= state.flushed + window {
+                                // lint: allow(panic-policy) poisoning propagation, not a new abort
                                 state = frontier_moved.wait(state).expect("frontier lock poisoned");
                             }
                             if state.cancelled {
@@ -249,6 +255,7 @@ impl ShardedExecutor {
                         }
                         next_shard += 1;
                     }
+                    // lint: allow(panic-policy) poisoning propagation, not a new abort
                     frontier.lock().expect("frontier lock poisoned").flushed = next_shard;
                     frontier_moved.notify_all();
                 }

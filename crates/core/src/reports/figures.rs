@@ -13,7 +13,7 @@ use crate::source::SnapshotSource;
 use crate::vantage::VantagePoint;
 use qem_web::{SnapshotDate, Universe};
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 // ---------------------------------------------------------------------------
@@ -63,8 +63,8 @@ pub fn figure3<S: SnapshotSource>(universe: &Universe, snapshots: &[S]) -> Figur
         // One streaming pass: remember each host's (server family,
         // fingerprint) pair, and build the fingerprint → family map used to
         // identify stacks without a server header (§5.3).
-        let mut fingerprint_family: HashMap<u64, String> = HashMap::new();
-        let mut host_family: HashMap<usize, (Option<String>, Option<u64>)> = HashMap::new();
+        let mut fingerprint_family: BTreeMap<u64, String> = BTreeMap::new();
+        let mut host_family: BTreeMap<usize, (Option<String>, Option<u64>)> = BTreeMap::new();
         snapshot.for_each_host(&mut |m| {
             let family = m.server_family();
             let fp = m.fingerprint();
@@ -174,7 +174,7 @@ pub fn figure4<S: SnapshotSource>(universe: &Universe, snapshots: &[S]) -> Figur
     for snapshot in snapshots {
         // Streaming pass: the only per-host attribute the alluvial needs is
         // the QUIC version label.
-        let mut versions: HashMap<usize, String> = HashMap::new();
+        let mut versions: BTreeMap<usize, String> = BTreeMap::new();
         snapshot.for_each_host(&mut |m| {
             if let Some(report) = &m.quic {
                 versions.insert(m.host_id, report.version.label());
@@ -498,8 +498,8 @@ pub struct Figure6 {
 /// Build Figure 6 from the CE-probing snapshot (QUIC and TCP measured in parallel).
 pub fn figure6<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> Figure6 {
     // Streaming pass: reduce every host to its (TCP, QUIC) category pair.
-    let mut categories: HashMap<usize, (Option<TcpCategory>, Option<QuicCeCategory>)> =
-        HashMap::new();
+    let mut categories: BTreeMap<usize, (Option<TcpCategory>, Option<QuicCeCategory>)> =
+        BTreeMap::new();
     snapshot.for_each_host(&mut |m| {
         let tcp_category = m.tcp.as_ref().filter(|t| t.connected).map(|t| {
             if !t.negotiated {
@@ -604,7 +604,7 @@ pub fn figure7<SM: SnapshotSource, SC: SnapshotSource>(
     cloud: &[(VantagePoint, SC, Option<SC>)],
 ) -> Figure7 {
     // Domain weight per host, from the main vantage point's IPv4 view.
-    let mut weight: HashMap<usize, u64> = HashMap::new();
+    let mut weight: BTreeMap<usize, u64> = BTreeMap::new();
     let mut total_weight = 0u64;
     for record in main_v4.domain_records(universe) {
         if !universe.domains[record.domain_idx].lists.cno || !record.quic {
@@ -617,7 +617,7 @@ pub fn figure7<SM: SnapshotSource, SC: SnapshotSource>(
     }
     fn share<S: SnapshotSource + ?Sized>(
         snapshot: &S,
-        weight: &HashMap<usize, u64>,
+        weight: &BTreeMap<usize, u64>,
         total_weight: u64,
     ) -> f64 {
         if total_weight == 0 {

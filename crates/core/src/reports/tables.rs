@@ -14,14 +14,14 @@ use crate::source::SnapshotSource;
 use qem_tracebox::PathVerdict;
 use qem_web::Universe;
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::IpAddr;
 
 /// One streaming pass collecting the trace verdict of every traced host —
 /// the only per-host attribute Tables 4 and 7 need beyond the domain join.
-fn trace_verdicts<S: SnapshotSource + ?Sized>(snapshot: &S) -> HashMap<usize, PathVerdict> {
-    let mut verdicts = HashMap::new();
+fn trace_verdicts<S: SnapshotSource + ?Sized>(snapshot: &S) -> BTreeMap<usize, PathVerdict> {
+    let mut verdicts = BTreeMap::new();
     snapshot.for_each_host(&mut |m| {
         if let Some(trace) = &m.trace {
             verdicts.insert(m.host_id, trace.verdict);
@@ -104,10 +104,10 @@ pub fn table1<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
         let mut mirroring = 0u64;
         let mut uses = 0u64;
         // IP-level sets.
-        let mut resolved_ips = HashSet::new();
-        let mut quic_ips = HashSet::new();
-        let mut mirroring_ips = HashSet::new();
-        let mut use_ips = HashSet::new();
+        let mut resolved_ips = BTreeSet::new();
+        let mut quic_ips = BTreeSet::new();
+        let mut mirroring_ips = BTreeSet::new();
+        let mut use_ips = BTreeSet::new();
         for record in &records {
             if !scope.matches(universe, record.domain_idx) {
                 continue;
@@ -260,7 +260,7 @@ fn provider_table<S: SnapshotSource + ?Sized>(
 
     // Keep the top-N by size plus the top-5 by mirroring and use, as the
     // paper's tables do.
-    let mut keep: HashSet<String> = ranked.iter().take(listed).map(|(o, _)| o.clone()).collect();
+    let mut keep: BTreeSet<String> = ranked.iter().take(listed).map(|(o, _)| o.clone()).collect();
     let mut by_mirroring = ranked.clone();
     by_mirroring.sort_by_key(|entry| std::cmp::Reverse(entry.1.mirroring));
     for (org, acc) in by_mirroring.iter().take(5) {
@@ -395,7 +395,7 @@ pub fn table4<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
     let verdicts = trace_verdicts(snapshot);
     let mut per_org: BTreeMap<String, Table4Row> = BTreeMap::new();
     let mut totals = (0u64, 0u64, 0u64);
-    let mut ips: [HashSet<usize>; 3] = [HashSet::new(), HashSet::new(), HashSet::new()];
+    let mut ips: [BTreeSet<usize>; 3] = [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
     for record in &records {
         if !Scope::Cno.matches(universe, record.domain_idx) || !record.quic {
             continue;
@@ -519,7 +519,7 @@ fn classify_snapshot<S: SnapshotSource + ?Sized>(
 ) -> BTreeMap<EcnClass, ClassCount> {
     let records = snapshot.domain_records(universe);
     let mut counts: BTreeMap<EcnClass, ClassCount> = BTreeMap::new();
-    let mut ips: HashMap<EcnClass, HashSet<usize>> = HashMap::new();
+    let mut ips: BTreeMap<EcnClass, BTreeSet<usize>> = BTreeMap::new();
     for record in &records {
         if !Scope::Cno.matches(universe, record.domain_idx) || !record.quic {
             continue;
@@ -699,7 +699,7 @@ pub fn table7<S: SnapshotSource + ?Sized>(universe: &Universe, snapshot: &S) -> 
     let verdicts = trace_verdicts(snapshot);
     let mut remarking = Table7Row::default();
     let mut undercount = Table7Row::default();
-    let mut ip_sets: HashMap<(u8, u8), HashSet<usize>> = HashMap::new();
+    let mut ip_sets: BTreeMap<(u8, u8), BTreeSet<usize>> = BTreeMap::new();
     for record in &records {
         if !Scope::Cno.matches(universe, record.domain_idx) || !record.quic {
             continue;

@@ -19,7 +19,7 @@ use crate::campaign::SnapshotMeasurement;
 use crate::observation::{DomainRecord, EcnClass, HostMeasurement, MirrorUse};
 use crate::vantage::VantagePoint;
 use qem_web::{SnapshotDate, Universe};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A source of host measurements for one snapshot (one vantage point, one
 /// address family, one date).
@@ -65,7 +65,7 @@ pub trait SnapshotSource {
         // One pass to pull out the three per-host attributes the join needs;
         // the full reports (with their packet counters and traces) can be
         // dropped as soon as they have been summarised.
-        let mut summaries: HashMap<usize, (bool, MirrorUse, Option<EcnClass>)> = HashMap::new();
+        let mut summaries: BTreeMap<usize, (bool, MirrorUse, Option<EcnClass>)> = BTreeMap::new();
         self.for_each_host(&mut |m| {
             summaries.insert(m.host_id, (m.quic_reachable, m.mirror_use(), m.ecn_class()));
         });
@@ -117,10 +117,10 @@ impl SnapshotSource for SnapshotMeasurement {
     }
 
     fn for_each_host(&self, f: &mut dyn FnMut(&HostMeasurement)) {
-        let mut ids: Vec<usize> = self.hosts.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            f(&self.hosts[&id]);
+        // `hosts` is a BTreeMap, so iteration is already in ascending
+        // host-id order — the order the contract requires.
+        for m in self.hosts.values() {
+            f(m);
         }
     }
 

@@ -1,0 +1,425 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The lexer's one job is to separate *code* from *non-code*: identifiers and
+//! punctuation come out as matchable tokens, while string literals (plain,
+//! raw, byte and byte-raw), char literals and comments are consumed whole so
+//! a rule pattern can never fire on text inside them.  Comments are kept —
+//! with their line numbers — because two lint features live in comments:
+//! `// SAFETY:` justifications and `// lint: allow(<rule>)` annotations.
+//!
+//! It is not a full Rust lexer (no float/suffix pedantry, no shebang
+//! handling); it is exact about the things that matter for false positives:
+//! string escapes, raw-string hash counts, nested block comments, and the
+//! lifetime-vs-char-literal ambiguity after `'`.
+
+/// One lexical token of interest to the rules engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `mod`, …).
+    Ident(String),
+    /// A single punctuation character (`:`, `.`, `!`, `{`, …).
+    Punct(char),
+    /// A literal (string, raw string, char, number).  Contents are opaque —
+    /// rules can never match inside.
+    Literal,
+}
+
+/// A token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex a whole source file.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'"' => {
+                consume_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'\'' => {
+                consume_quote(&mut cur, &mut out, line);
+            }
+            b'0'..=b'9' => {
+                consume_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                // Raw / byte string prefixes must be caught before the
+                // identifier path, or `r"…"` would lex as ident + string and
+                // `br#"…"#` would leave stray `#` punctuation behind.
+                if let Some(consumed) = consume_prefixed_literal(&mut cur) {
+                    if consumed {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line,
+                        });
+                        continue;
+                    }
+                }
+                let start = cur.pos;
+                while cur.peek().map(is_ident_continue).unwrap_or(false) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(
+                        String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    ),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consume a `"…"` string (opening quote at the cursor), honouring escapes.
+fn consume_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Handle `r`, `b`, `br`, `rb` literal prefixes at an ident-start position.
+///
+/// Returns `Some(true)` if a prefixed literal was consumed, `Some(false)` if
+/// the cursor sits on a plain identifier that merely *starts* with those
+/// letters, and `None` never (the Option keeps the call site readable).
+fn consume_prefixed_literal(cur: &mut Cursor<'_>) -> Option<bool> {
+    let b0 = cur.peek()?;
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        // r"…" / r#"…"#
+        (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
+            if consume_raw_string(cur, 1) {
+                return Some(true);
+            }
+            Some(false)
+        }
+        // b"…" (byte string) and b'…' (byte char)
+        (b'b', Some(b'"')) => {
+            cur.bump();
+            consume_string(cur);
+            Some(true)
+        }
+        (b'b', Some(b'\'')) => {
+            cur.bump();
+            consume_char(cur);
+            Some(true)
+        }
+        // br"…" / br#"…"#
+        (b'b', Some(b'r')) => {
+            if matches!(cur.peek_at(2), Some(b'"') | Some(b'#')) && consume_raw_string(cur, 2) {
+                return Some(true);
+            }
+            Some(false)
+        }
+        _ => Some(false),
+    }
+}
+
+/// Consume a raw string whose prefix (`r` or `br`) is `prefix_len` bytes.
+/// Returns false (consuming nothing) if the hashes are not followed by a
+/// quote — e.g. the identifier `r#type` (a raw identifier).
+fn consume_raw_string(cur: &mut Cursor<'_>, prefix_len: usize) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek_at(prefix_len + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if cur.peek_at(prefix_len + hashes) != Some(b'"') {
+        return false;
+    }
+    for _ in 0..prefix_len + hashes + 1 {
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` hash marks.
+    while let Some(c) = cur.bump() {
+        if c == b'"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return true;
+            }
+        }
+    }
+    true // unterminated: consumed to EOF, still "a literal"
+}
+
+/// Consume a `'…'` char literal (opening quote consumed by the caller's
+/// bump), honouring escapes.
+fn consume_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate `'` between a char literal and a lifetime.
+fn consume_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    // `'\n'`, `'\''`, … — always a char literal.
+    if cur.peek_at(1) == Some(b'\\') {
+        consume_char(cur);
+        out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+        return;
+    }
+    // `'x'` (ident-ish char followed by a closing quote) is a char literal;
+    // `'a` / `'static` (no closing quote right after) is a lifetime.
+    if cur
+        .peek_at(1)
+        .map(|c| is_ident_continue(c) && cur.peek_at(2) != Some(b'\''))
+        .unwrap_or(false)
+    {
+        cur.bump(); // the quote
+        while cur.peek().map(is_ident_continue).unwrap_or(false) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Literal, // a lifetime is never rule material
+            line,
+        });
+        return;
+    }
+    consume_char(cur);
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        line,
+    });
+}
+
+/// Consume a numeric literal, conservatively: digits, `_`, alphanumerics
+/// (covers `0x1f`, `1u64`, `1e9`) and a `.` only when followed by a digit so
+/// ranges like `0..10` keep their dots.
+fn consume_number(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        let fractional_dot =
+            c == b'.' && cur.peek_at(1).map(|d| d.is_ascii_digit()).unwrap_or(false);
+        if c.is_ascii_alphanumeric() || c == b'_' || fractional_dot {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "HashMap::new()";"#), ["let", "x"]);
+        assert_eq!(idents(r##"let x = r#"thread_rng()"#;"##), ["let", "x"]);
+        assert_eq!(idents(r#"let x = b"unsafe";"#), ["let", "x"]);
+        assert_eq!(idents("let x = \"esc \\\" HashMap\";"), ["let", "x"]);
+    }
+
+    #[test]
+    fn comments_hide_their_contents_but_are_kept() {
+        let lexed = lex("// HashMap here\nlet y = 1; /* SystemTime */");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, ["let", "y"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ HashMap */ let z = 2;"), ["let", "z"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(idents("fn f<'a>(x: &'a str) {}"), ["fn", "f", "x", "str"]);
+        assert_eq!(idents("let q = '\\'';"), ["let", "q"]);
+        // A char literal containing a quote-adjacent letter.
+        assert_eq!(
+            idents("let c = 'x'; let d = c;"),
+            ["let", "c", "let", "d", "c"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_mistaken_for_raw_strings() {
+        // `r#type` lexes as `r`, `#`, `type` — crude, but crucially it does
+        // not start a raw string that would swallow the rest of the file.
+        assert_eq!(
+            idents("let r#type = 1; let x = y;"),
+            ["let", "r", "type", "let", "x", "y"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots_or_method_calls() {
+        let lexed = lex("for i in 0..10 { x.unwrap(); 0x1f; 1.5e3; }");
+        let has_unwrap = lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("unwrap".to_string()));
+        assert!(has_unwrap);
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 3); // two range dots + one method dot
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,311 @@
+//! `qem-lint vendor` — the offline-vendoring audit.
+//!
+//! The container policy (PR 1, kept ever since): every dependency must
+//! resolve inside the repository — `vendor/` stand-ins or workspace path
+//! crates — never crates.io or git.  CI used to enforce this with a
+//! `cargo metadata | jq` shell step; this module is that audit as tested
+//! Rust, plus a manifest-level check the shell never had:
+//!
+//! 1. **Lockfile audit** — every `[[package]]` in `Cargo.lock` must lack a
+//!    `source` key.  Cargo only writes `source` for registry/git packages;
+//!    path dependencies have none.  This is exactly what
+//!    `cargo metadata … | jq '.packages[] | select(.source != null)'`
+//!    reported, without needing cargo or jq at audit time.
+//! 2. **Manifest audit** — every dependency entry in every workspace
+//!    `Cargo.toml` must be `workspace = true`, a `path = "…"` entry, or a
+//!    built-in dev target; bare version requirements (`foo = "1.0"`) and
+//!    `git = "…"` entries are violations even before a lockfile exists.
+//! 3. **Path existence** — every `path = "…"` in the root
+//!    `[workspace.dependencies]` must point at a directory inside the repo
+//!    that actually contains a `Cargo.toml`.
+
+use crate::rules::Finding;
+use std::path::Path;
+
+/// Run the full vendor audit.  Findings use the same `file:line rule
+/// message` shape as `check`.
+pub fn audit(repo_root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    audit_lockfile(repo_root, &mut findings)?;
+    audit_manifests(repo_root, &mut findings)?;
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+const RULE: &str = "offline-vendoring";
+
+fn finding(file: &str, line: usize, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: line as u32,
+        rule: RULE.to_string(),
+        message,
+    }
+}
+
+/// 1. Lockfile audit: no `[[package]]` may carry a `source`.
+fn audit_lockfile(repo_root: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
+    let path = repo_root.join("Cargo.lock");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => {
+            findings.push(finding(
+                "Cargo.lock",
+                1,
+                "missing Cargo.lock — the offline policy needs a committed lockfile".to_string(),
+            ));
+            return Ok(());
+        }
+    };
+    let mut package = String::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed == "[[package]]" {
+            package.clear();
+        } else if let Some(name) = toml_str_value(trimmed, "name") {
+            package = name;
+        } else if let Some(source) = toml_str_value(trimmed, "source") {
+            findings.push(finding(
+                "Cargo.lock",
+                idx + 1,
+                format!(
+                    "package `{package}` resolves outside the repo: source `{source}` \
+                     (registry or git; vendor it under vendor/)"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// 2 + 3. Manifest audit over the root manifest and every member manifest.
+fn audit_manifests(repo_root: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
+    let root_manifest = repo_root.join("Cargo.toml");
+    let root_text = std::fs::read_to_string(&root_manifest)?;
+    let members = workspace_members(&root_text);
+
+    let mut manifests = vec![("Cargo.toml".to_string(), root_text)];
+    for member in &members {
+        let rel = format!("{member}/Cargo.toml");
+        match std::fs::read_to_string(repo_root.join(&rel)) {
+            Ok(text) => manifests.push((rel, text)),
+            Err(_) => findings.push(finding(
+                "Cargo.toml",
+                1,
+                format!("workspace member `{member}` has no Cargo.toml"),
+            )),
+        }
+    }
+
+    for (rel, text) in &manifests {
+        audit_manifest(repo_root, rel, text, findings);
+    }
+    Ok(())
+}
+
+/// The `members = […]` array of the root manifest.
+fn workspace_members(root_text: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for line in root_text.lines() {
+        let trimmed = strip_toml_comment(line).trim().to_string();
+        if trimmed.starts_with('[') {
+            in_workspace = trimmed == "[workspace]";
+            in_members = false;
+            continue;
+        }
+        if in_workspace && trimmed.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in trimmed.split('"').skip(1).step_by(2) {
+                members.push(piece.to_string());
+            }
+            if trimmed.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    members
+}
+
+/// Sections of a manifest that declare dependencies.
+fn is_dependency_section(header: &str) -> bool {
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header == "workspace.dependencies"
+        || header.ends_with(".dependencies")
+        || header.ends_with(".dev-dependencies")
+        || header.ends_with(".build-dependencies")
+}
+
+fn audit_manifest(repo_root: &Path, rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let manifest_dir = Path::new(rel).parent().unwrap_or(Path::new(""));
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            section = header.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let spec = spec.trim();
+        // `foo.workspace = true` dotted form.
+        if name.ends_with(".workspace") {
+            continue;
+        }
+        if spec.starts_with('"') {
+            findings.push(finding(
+                rel,
+                idx + 1,
+                format!(
+                    "dependency `{name}` is a bare version requirement — it would resolve \
+                     to crates.io; use a vendor/ path or `workspace = true`"
+                ),
+            ));
+            continue;
+        }
+        if spec.starts_with('{') {
+            if spec.contains("git") && toml_inline_value(spec, "git").is_some() {
+                findings.push(finding(
+                    rel,
+                    idx + 1,
+                    format!("dependency `{name}` uses a git source — vendor it instead"),
+                ));
+                continue;
+            }
+            if spec.contains("workspace") {
+                continue;
+            }
+            match toml_inline_value(spec, "path") {
+                Some(path) => {
+                    let dir = manifest_dir.join(&path);
+                    if !repo_root.join(&dir).join("Cargo.toml").is_file() {
+                        findings.push(finding(
+                            rel,
+                            idx + 1,
+                            format!(
+                                "dependency `{name}` points at `{}`, which has no Cargo.toml",
+                                dir.display()
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    if spec.contains("version") {
+                        findings.push(finding(
+                            rel,
+                            idx + 1,
+                            format!(
+                                "dependency `{name}` has a version requirement but no path — \
+                                 it would resolve to crates.io"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `key = "value"` on a single line → value.
+fn toml_str_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `{ key = "value", … }` inline table → value for `key`.
+fn toml_inline_value(spec: &str, key: &str) -> Option<String> {
+    let inner = spec.trim_start_matches('{').trim_end_matches('}');
+    for part in inner.split(',') {
+        let part = part.trim();
+        if let Some(value) = toml_str_value(part, key) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockfile_source_lines_are_findings() {
+        let dir = std::env::temp_dir().join(format!("qem-lint-vendor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("Cargo.lock"),
+            "[[package]]\nname = \"evil\"\nversion = \"1.0.0\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+        let findings = audit(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("evil"));
+        assert_eq!(findings[0].file, "Cargo.lock");
+    }
+
+    #[test]
+    fn bare_version_deps_are_findings() {
+        let dir = std::env::temp_dir().join(format!("qem-lint-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("Cargo.lock"), "").unwrap();
+        std::fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = []\n[workspace.dependencies]\nserde = \"1.0\"\n",
+        )
+        .unwrap();
+        let findings = audit(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let dir = std::env::temp_dir().join(format!("qem-lint-ok-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("vendor/serde")).unwrap();
+        std::fs::write(
+            dir.join("vendor/serde/Cargo.toml"),
+            "[package]\nname = \"serde\"\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("Cargo.lock"), "").unwrap();
+        std::fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = []\n[workspace.dependencies]\nserde = { path = \"vendor/serde\", features = [\"derive\"] }\n[dependencies]\nserde.workspace = true\n",
+        )
+        .unwrap();
+        let findings = audit(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

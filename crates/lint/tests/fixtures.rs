@@ -1,0 +1,162 @@
+//! End-to-end tests for qem-lint over the committed `lint.toml`:
+//!
+//! 1. fixture files under `tests/fixtures/violations/` seed true positives
+//!    for every rule and must fire at the exact expected lines;
+//! 2. `tests/fixtures/clean/bait.rs` mentions every denied name inside
+//!    strings, raw strings, comments and lookalike identifiers and must
+//!    produce zero findings;
+//! 3. the real workspace itself must be clean — `check` and `vendor`
+//!    both return no findings (the CI gate, run as a test).
+//!
+//! Fixtures are checked under *virtual* in-zone paths (e.g.
+//! `crates/netsim/src/…`) so zone matching applies; their real on-disk
+//! home is excluded via `skip` in lint.toml, which test 4 verifies.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the repo root")
+        .to_path_buf()
+}
+
+fn engine() -> qem_lint::rules::Engine {
+    qem_lint::load_engine(&repo_root()).expect("committed lint.toml parses")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lines on which `rule` fired when `fixture_name` is checked as if it
+/// lived at `virtual_path`.
+fn fired_lines(virtual_path: &str, fixture_name: &str, rule: &str) -> BTreeSet<u32> {
+    let findings = engine().check_file(virtual_path, &fixture(fixture_name));
+    for f in &findings {
+        assert_eq!(f.rule, rule, "unexpected rule fired on {fixture_name}: {f}");
+    }
+    findings.into_iter().map(|f| f.line).collect()
+}
+
+#[test]
+fn wall_clock_fixture_fires_on_every_clock_mention() {
+    let lines = fired_lines(
+        "crates/netsim/src/fixture.rs",
+        "violations/wall_clock.rs",
+        "no-wall-clock",
+    );
+    assert_eq!(lines, BTreeSet::from([3, 4, 7, 8, 9]));
+}
+
+#[test]
+fn entropy_fixture_fires_on_every_rng_source() {
+    let lines = fired_lines(
+        "crates/quic/src/fixture.rs",
+        "violations/entropy.rs",
+        "no-ambient-entropy",
+    );
+    assert_eq!(lines, BTreeSet::from([4, 9, 10]));
+}
+
+#[test]
+fn unordered_fixture_fires_once_per_line_per_pattern() {
+    let findings = engine().check_file(
+        "crates/store/src/fixture.rs",
+        &fixture("violations/unordered.rs"),
+    );
+    let lines: BTreeSet<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, BTreeSet::from([3, 4, 7, 8]));
+    // Two `HashSet` mentions on line 7 (and two `HashMap` on line 8) are
+    // deduplicated into one diagnostic each.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn sans_io_fixture_fires_on_sockets_sleep_and_fs() {
+    let lines = fired_lines(
+        "crates/netsim/src/fixture.rs",
+        "violations/sans_io.rs",
+        "sans-io",
+    );
+    assert_eq!(lines, BTreeSet::from([3, 6, 7, 8]));
+}
+
+#[test]
+fn panic_fixture_fires_on_every_abort_macro_and_method() {
+    let lines = fired_lines(
+        "crates/core/src/scanner.rs",
+        "violations/panics.rs",
+        "panic-policy",
+    );
+    assert_eq!(lines, BTreeSet::from([4, 5, 7, 10, 11, 12]));
+}
+
+#[test]
+fn unsafe_fixture_fires_only_without_a_safety_comment() {
+    let lines = fired_lines(
+        "crates/packet/src/fixture.rs",
+        "violations/unsafe_no_safety.rs",
+        "unsafe-hygiene",
+    );
+    // Line 5 has no SAFETY comment; line 10 does and must pass.
+    assert_eq!(lines, BTreeSet::from([5]));
+}
+
+#[test]
+fn bait_fixture_is_clean() {
+    let findings = engine().check_file("crates/netsim/src/bait.rs", &fixture("clean/bait.rs"));
+    assert!(findings.is_empty(), "false positives on bait: {findings:?}");
+}
+
+#[test]
+fn fixture_directory_is_skipped_at_its_real_path() {
+    assert!(engine().skips("crates/lint/tests/fixtures/violations/panics.rs"));
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule_message() {
+    let findings = engine().check_file(
+        "crates/netsim/src/fixture.rs",
+        &fixture("violations/wall_clock.rs"),
+    );
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("crates/netsim/src/fixture.rs:3 no-wall-clock "),
+        "unexpected diagnostic shape: {rendered}"
+    );
+}
+
+#[test]
+fn real_workspace_passes_check() {
+    let root = repo_root();
+    let findings = qem_lint::check_workspace(&root, &engine()).expect("walk the workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace lint regressions:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn real_workspace_passes_vendor_audit() {
+    let findings = qem_lint::vendor::audit(&repo_root()).expect("read manifests");
+    assert!(
+        findings.is_empty(),
+        "vendoring regressions:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,26 @@
+//! Fixture: false-positive bait.  Every denied name below appears only in
+//! comments, strings, raw strings, byte strings or lookalike identifiers —
+//! `qem-lint check` must report nothing for this file.
+
+// Comments may mention HashMap, Instant, thread_rng and std::fs freely.
+
+/* Block comments too: TcpStream::connect, SystemTime::now(), panic!(). */
+
+pub const PLAIN: &str = "HashMap and HashSet live in std::collections";
+pub const ESCAPED: &str = "say \"Instant\" and SystemTime and UNIX_EPOCH";
+pub const RAW: &str = r#"thread_rng() and OsRng and "quoted" getrandom"#;
+pub const NESTED_RAW: &str = r##"raw with "# inside: from_entropy()"##;
+pub const BYTES: &[u8] = b"std::fs::read and TcpStream and UdpSocket";
+pub const CHARS: (char, char) = ('a', '"');
+
+/// Doc comments mentioning sleep, stdin and UdpSocket are also fine.
+pub struct SimInstant(pub u64);
+
+pub fn lookalikes(v: Option<u64>) -> u64 {
+    v.unwrap_or(0)
+}
+
+pub struct HashMapLike;
+
+// lint: allow(no-unordered-collections) annotation demo: next line is exempt
+pub type Index = std::collections::HashMap<u32, u32>;

@@ -1,0 +1,12 @@
+//! Fixture: true positives for `no-ambient-entropy`.
+
+pub fn ambient_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn os_seed() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    let _fallback = OsRng;
+    rng.gen()
+}

@@ -1,0 +1,14 @@
+//! Fixture: true positives for `panic-policy`.
+
+pub fn classify(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("at least two bytes");
+    if *first > *second {
+        panic!("unsorted probe payload");
+    }
+    match first {
+        0 => unreachable!("zero is filtered upstream"),
+        1 => todo!("ECT(1) handling"),
+        _ => unimplemented!("unknown codepoint"),
+    }
+}

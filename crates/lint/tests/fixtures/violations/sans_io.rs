@@ -1,0 +1,10 @@
+//! Fixture: true positives for `sans-io`.
+
+use std::net::TcpStream;
+
+pub fn leak(host: &str) -> std::io::Result<()> {
+    let _conn = TcpStream::connect((host, 443))?;
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let _bytes = std::fs::read("/etc/hosts")?;
+    Ok(())
+}

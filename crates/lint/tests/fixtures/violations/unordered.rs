@@ -1,0 +1,15 @@
+//! Fixture: true positives for `no-unordered-collections`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        if seen.insert(k) {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+    }
+    counts.len()
+}

@@ -1,0 +1,11 @@
+//! Fixture: an `unsafe` block without an adjacent `// SAFETY:` comment
+//! trips `unsafe-hygiene`; the commented one below passes.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_second(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at two valid bytes.
+    unsafe { *p.add(1) }
+}

@@ -583,8 +583,10 @@ impl LoadFlow {
         let header = match self.path.hops.first().map(|h| h.router.address) {
             Some(IpAddr::V6(_)) => IpHeader::V6(
                 Ipv6Header::new(
-                    "2001:db8:bbbb::1".parse().expect("static addr"),
-                    "2001:db8:bbbb::2".parse().expect("static addr"),
+                    // 2001:db8:bbbb::1 / ::2 — const-constructed so the
+                    // per-datagram path neither parses strings nor panics.
+                    std::net::Ipv6Addr::new(0x2001, 0x0db8, 0xbbbb, 0, 0, 0, 0, 1),
+                    std::net::Ipv6Addr::new(0x2001, 0x0db8, 0xbbbb, 0, 0, 0, 0, 2),
                     IpProtocol::Udp,
                     64,
                 )

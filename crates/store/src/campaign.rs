@@ -14,7 +14,7 @@ use qem_core::campaign::{Campaign, CampaignOptions};
 use qem_core::scanner::{ScanOptions, Scanner};
 use qem_core::vantage::VantagePoint;
 use qem_web::SnapshotDate;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// What a resumed campaign did.
@@ -146,7 +146,7 @@ impl CampaignStoreExt for Campaign<'_> {
         // The persisted prefix must be a prefix of this universe's scan
         // population — otherwise the store belongs to a different universe
         // and "resuming" would splice two incompatible campaigns.
-        let expected: HashSet<usize> = population.iter().copied().collect();
+        let expected: BTreeSet<usize> = population.iter().copied().collect();
         if let Some(alien) = persisted.iter().find(|id| !expected.contains(id)) {
             return Err(StoreError::Mismatch(format!(
                 "store holds host {alien}, which this universe would not scan — \
@@ -154,7 +154,7 @@ impl CampaignStoreExt for Campaign<'_> {
             )));
         }
 
-        let persisted_set: HashSet<usize> = persisted.iter().copied().collect();
+        let persisted_set: BTreeSet<usize> = persisted.iter().copied().collect();
         let remaining: Vec<usize> = population
             .iter()
             .copied()

@@ -28,6 +28,7 @@ use qem_quic::http::HttpResponse;
 use qem_quic::{ClientReport, EcnValidationFailure, EcnValidationState, TransportParameters};
 use qem_tcp::TcpReport;
 use qem_tracebox::{EcnChange, PathVerdict, TraceAnalysis};
+// lint: allow(no-unordered-collections) intern indexes below are lookup-only
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -39,11 +40,17 @@ pub const FORMAT_VERSION: u8 = 1;
 // ---------------------------------------------------------------------------
 
 /// Per-segment dictionaries, built while encoding records.
+/// The `Vec`s carry the dictionary in insertion order — all serialisation
+/// iterates those — while the `HashMap`s are pure O(1) membership indexes on
+/// the hot encode path: their iteration order is never observed, so hashing
+/// cannot leak into the output bytes.
 #[derive(Default)]
 pub struct DictBuilder {
     strings: Vec<String>,
+    // lint: allow(no-unordered-collections) lookup-only index, order carried by `strings`
     string_index: HashMap<String, u32>,
     asns: Vec<u32>,
+    // lint: allow(no-unordered-collections) lookup-only index, order carried by `asns`
     asn_index: HashMap<u32, u32>,
 }
 

@@ -37,7 +37,7 @@ use qem_core::campaign::{CampaignOptions, SnapshotMeasurement};
 use qem_core::observation::HostMeasurement;
 use qem_core::vantage::VantagePoint;
 use qem_web::SnapshotDate;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -127,7 +127,7 @@ pub struct LongitudinalWriter {
     vantage: VantagePoint,
     options: CampaignOptions,
     /// The previous date's full state, keyed by host id.
-    previous: HashMap<usize, HostMeasurement>,
+    previous: BTreeMap<usize, HostMeasurement>,
     /// Hosts seen in the current date, to enforce the constant-population
     /// invariant replay depends on.
     current_count: usize,
@@ -185,7 +185,7 @@ impl LongitudinalWriter {
             dates: dates.to_vec(),
             vantage: vantage.clone(),
             options: *options,
-            previous: HashMap::new(),
+            previous: BTreeMap::new(),
             current_count: 0,
             current_last_id: None,
             current_writer: None,
@@ -362,7 +362,7 @@ impl LongitudinalStore {
         &self,
         f: &mut dyn FnMut(&SnapshotMeasurement),
     ) -> Result<(), StoreError> {
-        let mut state: HashMap<usize, HostMeasurement> = HashMap::new();
+        let mut state: BTreeMap<usize, HostMeasurement> = BTreeMap::new();
         for (idx, snapshot) in self.snapshots.iter().enumerate() {
             for result in snapshot.iter() {
                 let m = result?;
@@ -387,7 +387,7 @@ impl LongitudinalStore {
         let Some(target) = self.snapshots.get(idx) else {
             return Err(StoreError::State(format!("no date {idx} in this series")));
         };
-        let mut state: HashMap<usize, HostMeasurement> = HashMap::new();
+        let mut state: BTreeMap<usize, HostMeasurement> = BTreeMap::new();
         for snapshot in &self.snapshots[..=idx] {
             for result in snapshot.iter() {
                 let m = result?;

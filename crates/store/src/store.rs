@@ -26,7 +26,7 @@ use qem_core::scanner::ProbeMode;
 use qem_core::source::SnapshotSource;
 use qem_core::vantage::{CloudProvider, VantagePoint, VantageQuirks};
 use qem_web::SnapshotDate;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -468,7 +468,7 @@ impl StoredSnapshot {
     /// report builders do **not** need it — they consume the store directly
     /// through [`SnapshotSource`].
     pub fn to_snapshot(&self) -> Result<SnapshotMeasurement, StoreError> {
-        let mut hosts = HashMap::new();
+        let mut hosts = BTreeMap::new();
         for result in self.iter() {
             let m = result?;
             hosts.insert(m.host_id, m);

@@ -5,6 +5,8 @@
 //! users can depend on a single package.  See `README.md` for a tour and
 //! `DESIGN.md` for the mapping from paper sections to modules.
 
+#![forbid(unsafe_code)]
+
 pub use qem_core as core;
 pub use qem_netsim as netsim;
 pub use qem_packet as packet;
