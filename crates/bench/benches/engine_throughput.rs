@@ -19,7 +19,10 @@ use qem_packet::udp::UdpHeader;
 use qem_quic::client::{ClientConfig, ClientConnection};
 use qem_quic::server::ServerConnection;
 use qem_quic::ServerBehavior;
-use qem_quic::{run_connection, run_connection_under_load, ConnectionOutcome, DriverConfig};
+use qem_quic::{
+    run_connection, run_connection_under_load, run_connection_with_telemetry, ConnectionOutcome,
+    DriverConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -163,6 +166,24 @@ fn engine_hosts(n: u64, path: &DuplexPath, config: &DriverConfig) -> u64 {
     connected
 }
 
+fn engine_hosts_with_metrics(n: u64, path: &DuplexPath, config: &DriverConfig) -> u64 {
+    let mut connected = 0u64;
+    for seed in 0..n {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (outcome, telemetry) = run_connection_with_telemetry(
+            ClientConfig::paper_default("bench.example"),
+            ServerBehavior::accurate(),
+            path,
+            config,
+            &mut rng,
+        );
+        connected += u64::from(outcome.report.connected);
+        // Consume the snapshot so the metrics pipeline cannot be elided.
+        black_box(telemetry.metrics.counter("engine.events_processed"));
+    }
+    connected
+}
+
 fn legacy_hosts(n: u64, path: &DuplexPath, config: &DriverConfig) -> u64 {
     let mut connected = 0u64;
     for seed in 0..n {
@@ -195,11 +216,18 @@ fn engine_throughput(c: &mut Criterion) {
     let t = Instant::now();
     let _ = black_box(engine_hosts(HOSTS, &path, &config));
     let engine_rate = HOSTS as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = black_box(engine_hosts_with_metrics(HOSTS, &path, &config));
+    let metrics_rate = HOSTS as f64 / t.elapsed().as_secs_f64();
     println!("--- engine_throughput: single-flow hosts/sec ---");
     println!("  legacy driver loop: {legacy_rate:>10.0} hosts/s");
     println!(
         "  one-flow engine:    {engine_rate:>10.0} hosts/s ({:+.1} %)",
         100.0 * (engine_rate - legacy_rate) / legacy_rate
+    );
+    println!(
+        "  engine + telemetry: {metrics_rate:>10.0} hosts/s ({:+.1} % vs engine; budget -5 %)",
+        100.0 * (metrics_rate - engine_rate) / engine_rate
     );
 
     let mut group = c.benchmark_group("engine_throughput");
@@ -209,6 +237,11 @@ fn engine_throughput(c: &mut Criterion) {
     });
     group.bench_function("single_flow_engine", |bch| {
         bch.iter(|| black_box(engine_hosts(10, &path, &config)))
+    });
+    // The observability acceptance bar: metrics + trace recording on the
+    // same scenario must stay within a few percent of the bare engine.
+    group.bench_function("single_flow_engine_with_metrics", |bch| {
+        bch.iter(|| black_box(engine_hosts_with_metrics(10, &path, &config)))
     });
     group.bench_function("shared_bottleneck_32_load_flows", |bch| {
         let cross = CrossTraffic::congested();

@@ -6,6 +6,7 @@ use crate::observation::{DomainRecord, HostMeasurement, MirrorUse};
 use crate::scanner::{ProbeMode, ScanOptions, Scanner};
 use crate::vantage::VantagePoint;
 use qem_netsim::CrossTraffic;
+use qem_obs::{MetricsSnapshot, RunTelemetry};
 use qem_web::{SnapshotDate, Universe};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -185,26 +186,63 @@ impl<'a> Campaign<'a> {
         options: &CampaignOptions,
         ipv6: bool,
     ) -> SnapshotMeasurement {
+        self.run_snapshot_with_telemetry(vantage, options, ipv6).0
+    }
+
+    /// Like [`Campaign::run_snapshot`], additionally returning the scan's
+    /// deterministic metrics snapshot (probe outcome counters plus the
+    /// aggregated engine/queue metrics of every simulated connection).
+    pub fn run_snapshot_with_telemetry(
+        &self,
+        vantage: &VantagePoint,
+        options: &CampaignOptions,
+        ipv6: bool,
+    ) -> (SnapshotMeasurement, MetricsSnapshot) {
         let scanner = Scanner::new(self.universe, vantage.clone(), options.scan_options(ipv6));
         let measurements = scanner.scan_all();
-        SnapshotMeasurement {
+        let metrics = scanner.metrics_snapshot();
+        let snapshot = SnapshotMeasurement {
             date: options.date,
             ipv6,
             vantage: vantage.clone(),
             hosts: measurements.into_iter().map(|m| (m.host_id, m)).collect(),
-        }
+        };
+        (snapshot, metrics)
     }
 
     /// Run the main-vantage-point campaign (IPv4, optionally IPv6).
     pub fn run_main(&self, options: &CampaignOptions, include_ipv6: bool) -> CampaignResult {
+        self.run_main_with_telemetry(options, include_ipv6).0
+    }
+
+    /// Like [`Campaign::run_main`], additionally returning the run's
+    /// telemetry: one metrics section per scanned address family, plus the
+    /// campaign configuration as info lines.
+    ///
+    /// The telemetry is deterministic — it deliberately excludes anything
+    /// dependent on worker count or wall time, so two runs of the same
+    /// campaign serialise to byte-identical JSON.
+    pub fn run_main_with_telemetry(
+        &self,
+        options: &CampaignOptions,
+        include_ipv6: bool,
+    ) -> (CampaignResult, RunTelemetry) {
         let main = VantagePoint::main();
-        let v4 = self.run_snapshot(&main, options, false);
+        let mut telemetry = RunTelemetry::new();
+        telemetry.set_info("campaign", "main");
+        telemetry.set_info("date", options.date.to_string());
+        telemetry.set_info("probe", format!("{:?}", options.probe));
+        telemetry.set_info("seed", options.seed.to_string());
+        let (v4, v4_metrics) = self.run_snapshot_with_telemetry(&main, options, false);
+        telemetry.insert_section("scan.v4", v4_metrics);
         let v6 = include_ipv6.then(|| {
             // The paper's IPv6 run happened two weeks earlier (week 13/2023);
             // model that by keeping the same month.
-            self.run_snapshot(&main, options, true)
+            let (v6, v6_metrics) = self.run_snapshot_with_telemetry(&main, options, true);
+            telemetry.insert_section("scan.v6", v6_metrics);
+            v6
         });
-        CampaignResult { v4, v6 }
+        (CampaignResult { v4, v6 }, telemetry)
     }
 
     /// Run the longitudinal series (one IPv4 snapshot per month, Figure 3/4/8).
@@ -427,6 +465,22 @@ mod tests {
         assert_eq!(ect0_seen, 0, "ForceCe must not probe TCP with ECT(0)");
         let (ect0_seen, _) = tcp_observed(&ect0_run);
         assert!(ect0_seen > 0);
+    }
+
+    #[test]
+    fn campaign_telemetry_is_worker_independent_json() {
+        let universe = universe();
+        let campaign = Campaign::new(&universe);
+        let base = CampaignOptions::paper_default();
+        let (_, single) =
+            campaign.run_main_with_telemetry(&CampaignOptions { workers: 1, ..base }, false);
+        let (_, parallel) =
+            campaign.run_main_with_telemetry(&CampaignOptions { workers: 4, ..base }, false);
+        assert_eq!(single.to_json(), parallel.to_json());
+        let scan = single.section("scan.v4").expect("v4 section");
+        assert!(scan.counter("scan.hosts").unwrap() > 0);
+        assert!(scan.counter("engine.events_processed").unwrap() > 0);
+        assert_eq!(single.info("workers"), None, "worker count must not leak");
     }
 
     #[test]

@@ -15,8 +15,50 @@
 //! order, not completion order.
 
 use crossbeam::channel;
+use qem_obs::{MetricsSnapshot, ShardedRegistry};
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
+
+/// Scheduling telemetry of one (or more) streaming runs: per-worker shards
+/// recording claimed batches and processed items, plus the collector's
+/// reorder-buffer high-water mark.
+///
+/// **This is scheduling noise, not scan data.**  Batch sizes and reorder
+/// depths depend on the worker count and on thread timing, so these metrics
+/// are deliberately kept out of the deterministic snapshots that CI
+/// byte-diffs (`Scanner::metrics_snapshot`, `RunTelemetry`) — they are for
+/// operators watching a live run.  The shards are merged in worker-id
+/// order, so *for a fixed schedule* the merge itself is reproducible.
+#[derive(Debug)]
+pub struct ExecutorStats {
+    /// One shard per worker plus one for the collector thread.
+    shards: ShardedRegistry,
+    workers: usize,
+}
+
+impl ExecutorStats {
+    /// Stats sized for `workers` worker threads (0 resolves like
+    /// [`ShardedExecutor::new`]).
+    pub fn new(workers: usize) -> Self {
+        let workers = ShardedExecutor::new(workers).workers();
+        ExecutorStats {
+            shards: ShardedRegistry::new(workers + 1),
+            workers,
+        }
+    }
+
+    /// The shard registry of worker `w` (the collector uses the last shard).
+    fn shard(&self, w: usize) -> &qem_obs::MetricsRegistry {
+        self.shards.shard(w)
+    }
+
+    /// Merge every worker shard, in worker-id order.
+    pub fn merged(&self) -> MetricsSnapshot {
+        let mut snap = self.shards.merged();
+        snap.set_gauge("executor.workers", self.workers as u64);
+        snap
+    }
+}
 
 /// A sharded batch executor with a fixed worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,8 +184,27 @@ impl ShardedExecutor {
     ///
     /// Calling `sink` for each output of `items.iter().map(work)` in order is
     /// the exact sequential semantics; only the scheduling differs.
-    pub fn run_streaming<I, T, F, S>(&self, items: &[I], work: F, mut sink: S)
+    pub fn run_streaming<I, T, F, S>(&self, items: &[I], work: F, sink: S)
     where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+        S: FnMut(T),
+    {
+        self.run_streaming_observed(items, work, sink, &ExecutorStats::new(self.workers));
+    }
+
+    /// [`ShardedExecutor::run_streaming`] with scheduling telemetry: each
+    /// worker records claimed batches and processed items into its own
+    /// [`ExecutorStats`] shard, and the collector records the reorder
+    /// buffer's high-water mark.  Output semantics are identical.
+    pub fn run_streaming_observed<I, T, F, S>(
+        &self,
+        items: &[I],
+        work: F,
+        mut sink: S,
+        stats: &ExecutorStats,
+    ) where
         I: Sync,
         T: Send,
         F: Fn(&I) -> T + Sync,
@@ -155,6 +216,11 @@ impl ShardedExecutor {
         let run_inline =
             self.workers <= 1 || (self.batch_size == 0 && items.len() < SEQUENTIAL_CUTOFF);
         if run_inline {
+            let shard = stats.shard(0);
+            if !items.is_empty() {
+                shard.counter("executor.batches").inc();
+            }
+            shard.counter("executor.items").add(items.len() as u64);
             for item in items {
                 sink(work(item));
             }
@@ -192,12 +258,15 @@ impl ShardedExecutor {
         let frontier_moved = std::sync::Condvar::new();
         let work = &work;
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(shard_count) {
+            for worker in 0..self.workers.min(shard_count) {
                 let shard_rx = shard_rx.clone();
                 let result_tx = result_tx.clone();
                 let frontier = &frontier;
                 let frontier_moved = &frontier_moved;
+                let worker_shard = stats.shard(worker);
                 scope.spawn(move || {
+                    let batches = worker_shard.counter("executor.batches");
+                    let items_done = worker_shard.counter("executor.items");
                     // If `work` panics, this shard never reaches the
                     // collector and the frontier stalls; cancel the run so
                     // the other workers exit and the panic can propagate.
@@ -222,6 +291,8 @@ impl ShardedExecutor {
                             }
                         }
                         let outputs: Vec<T> = items[start..end].iter().map(work).collect();
+                        batches.inc();
+                        items_done.add(outputs.len() as u64);
                         if result_tx.send((shard, outputs)).is_err() {
                             break;
                         }
@@ -244,10 +315,14 @@ impl ShardedExecutor {
             // Flush batches to the sink in shard order: completion order is
             // scheduling noise.  Out-of-order arrivals wait in `pending`,
             // which the claim throttle above caps at `window` entries.
+            let reorder_peak = stats
+                .shard(self.workers)
+                .gauge("executor.reorder_depth_peak");
             let mut pending: BTreeMap<usize, Vec<T>> = BTreeMap::new();
             let mut next_shard = 0usize;
             for (shard, outputs) in result_rx.iter() {
                 pending.insert(shard, outputs);
+                reorder_peak.record_max(pending.len() as u64);
                 if pending.contains_key(&next_shard) {
                     while let Some(outputs) = pending.remove(&next_shard) {
                         for value in outputs {
@@ -421,6 +496,30 @@ mod tests {
             },
         );
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn executor_stats_account_for_every_item_at_any_worker_count() {
+        let items: Vec<usize> = (0..2_000).collect();
+        for workers in [1, 2, 4, 8] {
+            let stats = ExecutorStats::new(workers);
+            let mut got = Vec::new();
+            ShardedExecutor::new(workers).run_streaming_observed(
+                &items,
+                |&x| x,
+                |v| got.push(v),
+                &stats,
+            );
+            assert_eq!(got, items);
+            let merged = stats.merged();
+            assert_eq!(
+                merged.counter("executor.items"),
+                Some(items.len() as u64),
+                "workers={workers}"
+            );
+            assert!(merged.counter("executor.batches").unwrap_or(0) >= 1);
+            assert_eq!(merged.gauge("executor.workers"), Some(workers as u64));
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod campaign;
 pub mod executor;
+pub mod metrics;
 pub mod observation;
 pub mod reports;
 pub mod scanner;
@@ -25,7 +26,8 @@ pub mod source;
 pub mod vantage;
 
 pub use campaign::{Campaign, CampaignOptions, CampaignResult, SnapshotMeasurement};
-pub use executor::ShardedExecutor;
+pub use executor::{ExecutorStats, ShardedExecutor};
+pub use metrics::{class_slug, ScanMetrics};
 pub use observation::{DomainRecord, EcnClass, HostMeasurement, MirrorUse};
 pub use qem_netsim::CrossTraffic;
 pub use scanner::{ScanOptions, Scanner};

@@ -1,0 +1,188 @@
+//! Deterministic scan metrics.
+//!
+//! [`ScanMetrics`] is the scanner's instrumentation surface: probe outcome
+//! counters, per-class ECN validation counts, loss/latency histograms and
+//! the aggregated engine/queue metrics of every simulated connection.  All
+//! of it obeys the workspace determinism invariant — every value is a `u64`
+//! recorded per host and merged commutatively, so
+//! [`ScanMetrics::snapshot`] is bit-identical for any worker count.
+//!
+//! Scheduling telemetry (batches per worker, reorder depth) is *not* in
+//! here: it depends on the worker count by construction and lives in
+//! [`crate::executor::ExecutorStats`], exposed separately through
+//! [`crate::scanner::Scanner::scheduling_snapshot`].
+
+use crate::observation::EcnClass;
+use qem_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use std::sync::Mutex;
+
+/// Stable metric-name slug of an ECN validation class (Table 5's rows).
+pub fn class_slug(class: EcnClass) -> &'static str {
+    match class {
+        EcnClass::NoMirroring => "no_mirroring",
+        EcnClass::Undercount => "undercount",
+        EcnClass::RemarkEct1 => "remark_ect1",
+        EcnClass::AllCe => "all_ce",
+        EcnClass::Capable => "capable",
+        EcnClass::Other => "other",
+    }
+}
+
+/// Probe-outcome metrics of one scanner, deterministic across worker counts.
+#[derive(Debug)]
+pub struct ScanMetrics {
+    registry: MetricsRegistry,
+    /// Engine/queue metrics of every simulated connection, merged as the
+    /// scan progresses.  Merge order varies with scheduling; the merged
+    /// value does not (all merges are commutative).
+    engine: Mutex<MetricsSnapshot>,
+    /// Scheduling noise (executor stats) — kept out of [`Self::snapshot`].
+    scheduling: Mutex<MetricsSnapshot>,
+    pub(crate) hosts: Counter,
+    pub(crate) no_address: Counter,
+    pub(crate) quic_no_stack: Counter,
+    pub(crate) quic_attempted: Counter,
+    pub(crate) quic_connected: Counter,
+    pub(crate) quic_reachable: Counter,
+    pub(crate) tcp_probed: Counter,
+    pub(crate) tcp_connected: Counter,
+    pub(crate) traced: Counter,
+    pub(crate) trace_impaired: Counter,
+    pub(crate) quic_forward_losses: Counter,
+    pub(crate) quic_reverse_losses: Counter,
+    pub(crate) quic_elapsed_us: Histogram,
+}
+
+impl Default for ScanMetrics {
+    fn default() -> Self {
+        ScanMetrics::new()
+    }
+}
+
+impl ScanMetrics {
+    /// Fresh metrics with every scanner counter pre-registered (so empty
+    /// scans still export a stable key set).
+    pub fn new() -> ScanMetrics {
+        let registry = MetricsRegistry::new();
+        let metrics = ScanMetrics {
+            hosts: registry.counter("scan.hosts"),
+            no_address: registry.counter("scan.no_address"),
+            quic_no_stack: registry.counter("scan.quic.no_stack"),
+            quic_attempted: registry.counter("scan.quic.attempted"),
+            quic_connected: registry.counter("scan.quic.connected"),
+            quic_reachable: registry.counter("scan.quic.reachable"),
+            tcp_probed: registry.counter("scan.tcp.probed"),
+            tcp_connected: registry.counter("scan.tcp.connected"),
+            traced: registry.counter("scan.traced"),
+            trace_impaired: registry.counter("scan.trace_impaired"),
+            quic_forward_losses: registry.counter("scan.quic.forward_losses"),
+            quic_reverse_losses: registry.counter("scan.quic.reverse_losses"),
+            quic_elapsed_us: registry.histogram("scan.quic.elapsed_us"),
+            registry,
+            engine: Mutex::new(MetricsSnapshot::new()),
+            scheduling: Mutex::new(MetricsSnapshot::new()),
+        };
+        // Stable key set: every class row exists even at count zero.
+        for class in [
+            EcnClass::NoMirroring,
+            EcnClass::Undercount,
+            EcnClass::RemarkEct1,
+            EcnClass::AllCe,
+            EcnClass::Capable,
+            EcnClass::Other,
+        ] {
+            metrics.registry.counter(&class_name(class));
+        }
+        metrics
+    }
+
+    /// Count one host in ECN validation class `class`.
+    pub(crate) fn record_class(&self, class: EcnClass) {
+        self.registry.counter(&class_name(class)).inc();
+    }
+
+    /// Fold one connection's engine metrics into the scan-wide aggregate.
+    pub(crate) fn absorb_engine(&self, snapshot: &MetricsSnapshot) {
+        self.lock_merge(&self.engine, snapshot);
+    }
+
+    /// Fold one streaming run's executor stats into the scheduling section.
+    pub(crate) fn absorb_scheduling(&self, snapshot: &MetricsSnapshot) {
+        self.lock_merge(&self.scheduling, snapshot);
+    }
+
+    fn lock_merge(&self, slot: &Mutex<MetricsSnapshot>, snapshot: &MetricsSnapshot) {
+        // Poisoning only means a scan worker panicked mid-merge; the
+        // accumulated snapshot is still structurally valid.
+        let mut agg = slot.lock().unwrap_or_else(|e| e.into_inner());
+        agg.merge_from(snapshot);
+    }
+
+    /// The deterministic scan snapshot: probe counters plus the aggregated
+    /// engine/queue metrics.  Bit-identical across worker counts and
+    /// repeat runs (asserted by `tests/scan_determinism.rs`).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        snap.merge_from(&engine);
+        snap
+    }
+
+    /// The scheduling-noise snapshot (executor batches, reorder depth).
+    /// Varies with worker count — never mix it into deterministic exports.
+    pub fn scheduling(&self) -> MetricsSnapshot {
+        self.scheduling
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+fn class_name(class: EcnClass) -> String {
+    format!("scan.class.{}", class_slug(class))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_export_a_stable_key_set() {
+        let a = ScanMetrics::new().snapshot();
+        let b = ScanMetrics::new().snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.counter("scan.hosts"), Some(0));
+        assert_eq!(a.counter("scan.class.capable"), Some(0));
+        assert_eq!(a.counter("scan.class.no_mirroring"), Some(0));
+    }
+
+    #[test]
+    fn engine_absorption_is_order_independent() {
+        let mut x = MetricsSnapshot::new();
+        x.set_counter("engine.events_processed", 10);
+        x.set_gauge("engine.virtual_now_us", 5);
+        let mut y = MetricsSnapshot::new();
+        y.set_counter("engine.events_processed", 7);
+        y.set_gauge("engine.virtual_now_us", 9);
+
+        let ab = ScanMetrics::new();
+        ab.absorb_engine(&x);
+        ab.absorb_engine(&y);
+        let ba = ScanMetrics::new();
+        ba.absorb_engine(&y);
+        ba.absorb_engine(&x);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.snapshot().counter("engine.events_processed"), Some(17));
+        assert_eq!(ab.snapshot().gauge("engine.virtual_now_us"), Some(9));
+    }
+
+    #[test]
+    fn scheduling_stays_out_of_the_deterministic_snapshot() {
+        let m = ScanMetrics::new();
+        let mut sched = MetricsSnapshot::new();
+        sched.set_counter("executor.batches", 42);
+        m.absorb_scheduling(&sched);
+        assert_eq!(m.snapshot().counter("executor.batches"), None);
+        assert_eq!(m.scheduling().counter("executor.batches"), Some(42));
+    }
+}

@@ -7,12 +7,17 @@
 //! deterministic RNG derived from the scan seed and the host id, so a scan
 //! produces identical results regardless of worker count or scheduling.
 
-use crate::executor::ShardedExecutor;
+use crate::executor::{ExecutorStats, ShardedExecutor};
+use crate::metrics::ScanMetrics;
 use crate::observation::{EcnClass, HostMeasurement};
 use crate::vantage::VantagePoint;
 use qem_netsim::{build_duplex_path, Asn, CrossTraffic, DuplexPath, TransitProfile};
+use qem_obs::MetricsSnapshot;
 use qem_quic::behavior::EcnMirroringBehavior;
-use qem_quic::{run_connection, run_connection_under_load, ClientConfig, DriverConfig, EcnConfig};
+use qem_quic::{
+    run_connection_under_load_with_telemetry, run_connection_with_telemetry, ClientConfig,
+    DriverConfig, EcnConfig,
+};
 use qem_tcp::{run_tcp_connection, run_tcp_connection_under_load, TcpClientConfig};
 use qem_tracebox::{analyze_trace, trace_path, TraceConfig};
 use qem_web::{SnapshotDate, StackProfile, Universe};
@@ -88,6 +93,9 @@ pub struct Scanner<'a> {
     /// per domain (with each IP traced at most once), so heavy-hitter IPs are
     /// almost always covered — exactly the property §6.1 relies on.
     domain_weight: Vec<u32>,
+    /// Probe-outcome metrics, recorded per host and merged commutatively —
+    /// the deterministic part of the scan's observability surface.
+    metrics: ScanMetrics,
 }
 
 impl<'a> Scanner<'a> {
@@ -104,12 +112,32 @@ impl<'a> Scanner<'a> {
             vantage,
             options,
             domain_weight,
+            metrics: ScanMetrics::new(),
         }
     }
 
     /// The options in use.
     pub fn options(&self) -> &ScanOptions {
         &self.options
+    }
+
+    /// The scanner's metrics handle.
+    pub fn metrics(&self) -> &ScanMetrics {
+        &self.metrics
+    }
+
+    /// The deterministic metrics of everything scanned so far: probe
+    /// outcome counters, per-class counts and the aggregated engine/queue
+    /// metrics.  Bit-identical across worker counts.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Executor scheduling telemetry (batches per worker, reorder depth).
+    /// This varies with the worker count by construction — it is diagnostic
+    /// noise and is deliberately kept out of [`Scanner::metrics_snapshot`].
+    pub fn scheduling_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.scheduling()
     }
 
     /// Scan every host that has an address in the requested family.
@@ -144,7 +172,9 @@ impl<'a> Scanner<'a> {
         ids.sort_unstable();
         ids.dedup();
         let executor = ShardedExecutor::new(self.options.workers);
-        executor.run_streaming(&ids, |&id| self.measure_host(id), sink);
+        let stats = ExecutorStats::new(self.options.workers);
+        executor.run_streaming_observed(&ids, |&id| self.measure_host(id), sink, &stats);
+        self.metrics.absorb_scheduling(&stats.merged());
     }
 
     /// Measure one host: QUIC, TCP and (sampled) tracebox.
@@ -156,8 +186,10 @@ impl<'a> Scanner<'a> {
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(host_id as u64),
         );
+        self.metrics.hosts.inc();
         let v6 = self.options.ipv6;
         let Some(server_addr) = host.addr(v6) else {
+            self.metrics.no_address.inc();
             return HostMeasurement {
                 host_id,
                 quic_reachable: false,
@@ -171,6 +203,9 @@ impl<'a> Scanner<'a> {
 
         // ---- QUIC ---------------------------------------------------------
         let behavior = self.effective_quic_behavior(host_id);
+        if behavior.is_none() {
+            self.metrics.quic_no_stack.inc();
+        }
         let quic_report = behavior.map(|behavior| {
             let sni = format!("www.host-{host_id}.example");
             let client_config = match self.options.probe {
@@ -178,8 +213,9 @@ impl<'a> Scanner<'a> {
                 ProbeMode::ForceCe => ClientConfig::force_ce(&sni),
             };
             let driver = DriverConfig::new(client_addr, server_addr);
-            if self.options.cross_traffic.is_enabled() {
-                run_connection_under_load(
+            self.metrics.quic_attempted.inc();
+            let (outcome, telemetry) = if self.options.cross_traffic.is_enabled() {
+                run_connection_under_load_with_telemetry(
                     client_config,
                     behavior,
                     &path,
@@ -188,14 +224,26 @@ impl<'a> Scanner<'a> {
                     &mut rng,
                 )
             } else {
-                run_connection(client_config, behavior, &path, &driver, &mut rng)
-            }
-            .report
+                run_connection_with_telemetry(client_config, behavior, &path, &driver, &mut rng)
+            };
+            self.metrics
+                .quic_elapsed_us
+                .record(outcome.elapsed.as_micros());
+            self.metrics.quic_forward_losses.add(outcome.forward_losses);
+            self.metrics.quic_reverse_losses.add(outcome.reverse_losses);
+            self.metrics.absorb_engine(&telemetry.metrics);
+            outcome.report
         });
+        if quic_report.as_ref().is_some_and(|r| r.connected) {
+            self.metrics.quic_connected.inc();
+        }
         let quic_reachable = quic_report
             .as_ref()
             .map(|r| r.connected && r.response.is_some())
             .unwrap_or(false);
+        if quic_reachable {
+            self.metrics.quic_reachable.inc();
+        }
 
         // ---- TCP ----------------------------------------------------------
         let tcp_config = match self.options.probe {
@@ -222,9 +270,17 @@ impl<'a> Scanner<'a> {
                 &mut rng,
             )
         });
+        self.metrics.tcp_probed.inc();
+        if tcp_report.as_ref().is_some_and(|r| r.connected) {
+            self.metrics.tcp_connected.inc();
+        }
 
         // ---- Tracebox (sampled, only on abnormal behaviour) ----------------
-        let abnormal = match quic_report.as_ref().and_then(EcnClass::classify) {
+        let class = quic_report.as_ref().and_then(EcnClass::classify);
+        if let Some(class) = class {
+            self.metrics.record_class(class);
+        }
+        let abnormal = match class {
             Some(EcnClass::Capable) | None => false,
             Some(_) => true,
         };
@@ -242,7 +298,12 @@ impl<'a> Scanner<'a> {
                 &mut rng,
             );
             let as_org = &self.universe.as_org;
-            Some(analyze_trace(&trace, &|ip| as_org.asn_of_ip(ip)))
+            let analysis = analyze_trace(&trace, &|ip| as_org.asn_of_ip(ip));
+            self.metrics.traced.inc();
+            if analysis.is_impaired() {
+                self.metrics.trace_impaired.inc();
+            }
+            Some(analysis)
         } else {
             None
         };
@@ -374,6 +435,30 @@ mod tests {
             .scan_hosts(&quic_hosts);
             assert_eq!(single, parallel, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn scan_metrics_match_across_worker_counts_but_scheduling_differs() {
+        let universe = universe();
+        let host_ids: Vec<usize> = universe.hosts.iter().map(|h| h.id).take(16).collect();
+        let options = ScanOptions::paper_default(SnapshotDate::APR_2023);
+        let run = |workers: usize| {
+            let scanner = Scanner::new(
+                &universe,
+                VantagePoint::main(),
+                ScanOptions { workers, ..options },
+            );
+            scanner.scan_hosts(&host_ids);
+            (scanner.metrics_snapshot(), scanner.scheduling_snapshot())
+        };
+        let (single, single_sched) = run(1);
+        let (quad, _) = run(4);
+        assert_eq!(single, quad);
+        assert_eq!(single.to_json(), quad.to_json());
+        assert_eq!(single.counter("scan.hosts"), Some(16));
+        assert!(single.counter("engine.events_processed").unwrap() > 0);
+        // Scheduling telemetry exists but is allowed to differ per run.
+        assert_eq!(single_sched.counter("executor.items"), Some(16));
     }
 
     #[test]

@@ -55,6 +55,26 @@ fn wall_clock_fixture_fires_on_every_clock_mention() {
 }
 
 #[test]
+fn obs_crate_is_a_wall_clock_zone_with_exactly_one_allowed_file() {
+    // The rule must still fire anywhere in `crates/obs/src` …
+    let lines = fired_lines(
+        "crates/obs/src/registry.rs",
+        "violations/wall_clock.rs",
+        "no-wall-clock",
+    );
+    assert_eq!(lines, BTreeSet::from([3, 4, 7, 8, 9]));
+    // … while the sanctioned seam — and only it — is exempt.
+    let findings = engine().check_file(
+        "crates/obs/src/clock.rs",
+        &fixture("violations/wall_clock.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "clock.rs is the allow-listed wall-clock seam: {findings:?}"
+    );
+}
+
+#[test]
 fn entropy_fixture_fires_on_every_rng_source() {
     let lines = fired_lines(
         "crates/quic/src/fixture.rs",

@@ -30,6 +30,7 @@ use crate::aqm::{AqmDecision, OccupancyAqm};
 use crate::path::Path;
 use crate::router::RouterId;
 use crate::time::{SimDuration, SimInstant};
+use qem_obs::{Histogram, MetricsSnapshot, TraceRing};
 use qem_packet::ecn::EcnCodepoint;
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
 use rand::rngs::StdRng;
@@ -209,6 +210,10 @@ struct QueueState {
     /// Departure time of the most recently admitted packet.
     last_departure: SimInstant,
     stats: QueueStats,
+    /// Occupancy observed at each arrival (drained, pre-admission), as a
+    /// log-linear distribution — `peak_occupancy` tells the worst case,
+    /// this tells where the queue actually sat.
+    occupancy_hist: Histogram,
 }
 
 impl QueueState {
@@ -248,6 +253,7 @@ impl SharedQueues {
                 departures: BinaryHeap::new(),
                 last_departure: SimInstant::EPOCH,
                 stats: QueueStats::default(),
+                occupancy_hist: Histogram::standalone(),
             },
         );
     }
@@ -297,6 +303,7 @@ impl SharedQueues {
         state.drain(now);
         let occupancy = state.departures.len();
         state.stats.peak_occupancy = state.stats.peak_occupancy.max(occupancy);
+        state.occupancy_hist.record(occupancy as u64);
         if occupancy >= state.config.capacity {
             state.stats.dropped += 1;
             return (AqmDecision::Drop, SimDuration::ZERO);
@@ -315,6 +322,30 @@ impl SharedQueues {
             state.stats.marked += 1;
         }
         (decision, departure - now)
+    }
+
+    /// Per-router metrics of every registered queue, in router-id order:
+    /// `queue.r<id>.{enqueued,marked,dropped}` counters, the
+    /// `queue.r<id>.peak_occupancy` gauge and the `queue.r<id>.occupancy`
+    /// arrival-occupancy histogram.  This is the read side of
+    /// [`QueueStats`], which was previously write-only outside of tests.
+    pub fn telemetry(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for (router, state) in &self.queues {
+            let prefix = format!("queue.r{}.", router.0);
+            snap.set_counter(format!("{prefix}enqueued"), state.stats.enqueued);
+            snap.set_counter(format!("{prefix}marked"), state.stats.marked);
+            snap.set_counter(format!("{prefix}dropped"), state.stats.dropped);
+            snap.set_gauge(
+                format!("{prefix}peak_occupancy"),
+                state.stats.peak_occupancy as u64,
+            );
+            snap.set_histogram(
+                format!("{prefix}occupancy"),
+                state.occupancy_hist.snapshot(),
+            );
+        }
+        snap
     }
 }
 
@@ -351,14 +382,30 @@ pub struct FlowWake {
     pub flow: usize,
 }
 
+/// Default capacity of the engine's wake log: large enough to retain every
+/// wake of any probe-scale scenario in the workspace, small enough to bound
+/// memory over arbitrarily long runs.
+pub const DEFAULT_EVENT_LOG_CAPACITY: usize = 65_536;
+
+/// Post-run observability bundle of one engine: deterministic metrics plus
+/// the (ring-bounded) virtual-time wake trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Engine counters merged with [`SharedQueues::telemetry`].
+    pub metrics: MetricsSnapshot,
+    /// Retained wake log, oldest first (see [`Engine::event_log`]).
+    pub trace: Vec<FlowWake>,
+}
+
 /// The discrete-event scheduler: owns virtual time, the shared queues and
 /// the event heap, and drives registered flows to completion.
 pub struct Engine<'a> {
     queue: EventQueue<usize>,
     flows: Vec<&'a mut dyn Flow>,
     shared: SharedQueues,
-    log: Vec<FlowWake>,
+    log: TraceRing<FlowWake>,
     max_events: usize,
+    events_processed: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -368,8 +415,9 @@ impl<'a> Engine<'a> {
             queue: EventQueue::new(),
             flows: Vec::new(),
             shared,
-            log: Vec::new(),
+            log: TraceRing::new(DEFAULT_EVENT_LOG_CAPACITY),
             max_events: 10_000_000,
+            events_processed: 0,
         }
     }
 
@@ -377,6 +425,14 @@ impl<'a> Engine<'a> {
     /// ten million).
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// Retain at most `capacity` wake-log entries (the newest ones; the
+    /// default is [`DEFAULT_EVENT_LOG_CAPACITY`]).  Evictions are counted
+    /// in [`Engine::telemetry`] as `engine.trace.dropped`.
+    pub fn with_event_log_capacity(mut self, capacity: usize) -> Self {
+        self.log = TraceRing::new(capacity);
         self
     }
 
@@ -405,9 +461,34 @@ impl<'a> Engine<'a> {
     }
 
     /// The order in which flows were woken — identical across runs for
-    /// identical inputs, which the determinism gate asserts.
-    pub fn event_log(&self) -> &[FlowWake] {
-        &self.log
+    /// identical inputs, which the determinism gate asserts.  Bounded: only
+    /// the newest [`Engine::with_event_log_capacity`] wakes are retained.
+    pub fn event_log(&self) -> Vec<FlowWake> {
+        self.log.to_vec()
+    }
+
+    /// Total number of events processed so far (unbounded, unlike the log).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Deterministic metrics and the retained wake trace: engine counters
+    /// (`engine.events_processed`, `engine.flows`, trace accounting, the
+    /// virtual clock) merged with the per-router queue metrics of
+    /// [`SharedQueues::telemetry`].  Purely a read — taking telemetry does
+    /// not perturb the simulation, so instrumented and uninstrumented runs
+    /// stay bit-identical.
+    pub fn telemetry(&self) -> EngineTelemetry {
+        let mut metrics = self.shared.telemetry();
+        metrics.set_counter("engine.events_processed", self.events_processed);
+        metrics.set_counter("engine.flows", self.flows.len() as u64);
+        metrics.set_counter("engine.trace.recorded", self.log.recorded());
+        metrics.set_counter("engine.trace.dropped", self.log.dropped());
+        metrics.set_gauge("engine.virtual_now_us", self.queue.now().as_micros());
+        EngineTelemetry {
+            metrics,
+            trace: self.log.to_vec(),
+        }
     }
 
     /// Run until every flow is done (or the event cap is hit).
@@ -418,6 +499,7 @@ impl<'a> Engine<'a> {
             if processed > self.max_events {
                 break;
             }
+            self.events_processed += 1;
             let index = event.payload;
             self.log.push(FlowWake {
                 at: event.at,
@@ -823,5 +905,91 @@ mod tests {
         let second = run();
         assert!(!first.is_empty());
         assert_eq!(first, second, "event order must be identical across runs");
+    }
+
+    #[test]
+    fn event_log_ring_keeps_the_newest_wakes_and_counts_evictions() {
+        let run = |capacity: Option<usize>| {
+            let hop = crate::path::Hop::new(Router::transparent(3, Asn(1299)));
+            let path = Path::new(vec![hop]);
+            let cross = CrossTraffic::congested();
+            let (queues, mut flows) = cross.instantiate(&path, 42).expect("enabled");
+            let mut engine = Engine::new(queues);
+            if let Some(capacity) = capacity {
+                engine = engine.with_event_log_capacity(capacity);
+            }
+            for flow in flows.iter_mut() {
+                engine.add_flow(flow);
+            }
+            engine.run();
+            (engine.event_log(), engine.telemetry())
+        };
+        let (full, full_telemetry) = run(None);
+        let (bounded, bounded_telemetry) = run(Some(16));
+        assert_eq!(bounded.len(), 16);
+        assert_eq!(
+            bounded,
+            full[full.len() - 16..],
+            "the ring must retain exactly the newest wakes"
+        );
+        // Bounding the trace must not perturb the simulation itself…
+        assert_eq!(
+            full_telemetry.metrics.counter("engine.events_processed"),
+            bounded_telemetry.metrics.counter("engine.events_processed"),
+        );
+        // …and the telemetry must account for every wake, retained or not.
+        assert_eq!(
+            bounded_telemetry.metrics.counter("engine.trace.recorded"),
+            Some(full.len() as u64)
+        );
+        assert_eq!(
+            bounded_telemetry.metrics.counter("engine.trace.dropped"),
+            Some(full.len() as u64 - 16)
+        );
+        assert_eq!(
+            full_telemetry.metrics.counter("engine.trace.dropped"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn queue_telemetry_mirrors_queue_stats() {
+        let hop = crate::path::Hop::new(Router::transparent(1, Asn(680)));
+        let path = Path::new(vec![hop]);
+        let (queues, mut flows) = CrossTraffic::congested()
+            .instantiate(&path, 7)
+            .expect("enabled");
+        let mut engine = Engine::new(queues);
+        for flow in flows.iter_mut() {
+            engine.add_flow(flow);
+        }
+        engine.run();
+        let stats = engine.shared().stats(RouterId(1)).expect("registered");
+        let telemetry = engine.telemetry();
+        assert_eq!(
+            telemetry.metrics.counter("queue.r1.enqueued"),
+            Some(stats.enqueued)
+        );
+        assert_eq!(
+            telemetry.metrics.counter("queue.r1.marked"),
+            Some(stats.marked)
+        );
+        assert_eq!(
+            telemetry.metrics.counter("queue.r1.dropped"),
+            Some(stats.dropped)
+        );
+        assert_eq!(
+            telemetry.metrics.gauge("queue.r1.peak_occupancy"),
+            Some(stats.peak_occupancy as u64)
+        );
+        let occupancy = telemetry
+            .metrics
+            .histogram("queue.r1.occupancy")
+            .expect("occupancy histogram");
+        assert_eq!(
+            occupancy.count,
+            stats.enqueued + stats.dropped,
+            "every arrival must be sampled, admitted or not"
+        );
     }
 }

@@ -37,8 +37,8 @@ pub mod topology;
 
 pub use aqm::{AqmConfig, AqmKind, OccupancyAqm};
 pub use engine::{
-    CrossTraffic, Engine, EventId, EventQueue, Flow, FlowStatus, FlowWake, LoadFlow, QueueConfig,
-    QueueStats, SharedQueues,
+    CrossTraffic, Engine, EngineTelemetry, EventId, EventQueue, Flow, FlowStatus, FlowWake,
+    LoadFlow, QueueConfig, QueueStats, SharedQueues, DEFAULT_EVENT_LOG_CAPACITY,
 };
 pub use path::{DuplexPath, Hop, Path, TransitOutcome};
 pub use policy::{DscpPolicy, EcnPolicy};

@@ -21,7 +21,7 @@
 use crate::behavior::ServerBehavior;
 use crate::client::{ClientConfig, ClientConnection, ClientReport};
 use crate::server::ServerConnection;
-use qem_netsim::engine::{CrossTraffic, Engine, Flow, FlowStatus, SharedQueues};
+use qem_netsim::engine::{CrossTraffic, Engine, EngineTelemetry, Flow, FlowStatus, SharedQueues};
 use qem_netsim::{DuplexPath, SimDuration, SimInstant};
 use qem_packet::ecn::{EcnCodepoint, EcnCounts};
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
@@ -264,9 +264,23 @@ pub fn run_connection<R: Rng + ?Sized>(
     config: &DriverConfig,
     rng: &mut R,
 ) -> ConnectionOutcome {
+    run_connection_with_telemetry(client_config, behavior, path, config, rng).0
+}
+
+/// Like [`run_connection`], additionally returning the engine's telemetry
+/// (event counts, queue metrics, the virtual-time wake trace).  Reading
+/// telemetry is side-effect free: the outcome is bit-identical to
+/// [`run_connection`] with the same inputs.
+pub fn run_connection_with_telemetry<R: Rng + ?Sized>(
+    client_config: ClientConfig,
+    behavior: ServerBehavior,
+    path: &DuplexPath,
+    config: &DriverConfig,
+    rng: &mut R,
+) -> (ConnectionOutcome, EngineTelemetry) {
     let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
     let mut server = ServerConnection::new(behavior, rng.gen());
-    run_with_endpoints(&mut client, &mut server, path, config, rng)
+    run_endpoints_with_telemetry(&mut client, &mut server, path, config, rng)
 }
 
 /// Run a prepared client and server to completion (exposed for tests that
@@ -279,12 +293,25 @@ pub fn run_with_endpoints<R: Rng + ?Sized>(
     config: &DriverConfig,
     rng: &mut R,
 ) -> ConnectionOutcome {
+    run_endpoints_with_telemetry(client, server, path, config, rng).0
+}
+
+fn run_endpoints_with_telemetry<R: Rng + ?Sized>(
+    client: &mut ClientConnection,
+    server: &mut ServerConnection,
+    path: &DuplexPath,
+    config: &DriverConfig,
+    rng: &mut R,
+) -> (ConnectionOutcome, EngineTelemetry) {
     let mut flow = QuicFlow::new(client, server, path, config, rng);
     let mut engine = Engine::new(SharedQueues::new());
     engine.add_flow(&mut flow);
     engine.run();
+    // Telemetry must be read before the engine goes away — it borrows the
+    // flow list; the outcome needs the flow back, hence the drop.
+    let telemetry = engine.telemetry();
     drop(engine);
-    flow.into_outcome()
+    (flow.into_outcome(), telemetry)
 }
 
 /// Run a client↔server exchange while `cross` background flows push packets
@@ -302,11 +329,25 @@ pub fn run_connection_under_load<R: Rng + ?Sized>(
     cross: &CrossTraffic,
     rng: &mut R,
 ) -> ConnectionOutcome {
+    run_connection_under_load_with_telemetry(client_config, behavior, path, config, cross, rng).0
+}
+
+/// Like [`run_connection_under_load`], additionally returning the engine's
+/// telemetry — under load this includes the shared bottleneck's per-router
+/// queue metrics (`queue.r<id>.*`: CE marks, tail drops, occupancy).
+pub fn run_connection_under_load_with_telemetry<R: Rng + ?Sized>(
+    client_config: ClientConfig,
+    behavior: ServerBehavior,
+    path: &DuplexPath,
+    config: &DriverConfig,
+    cross: &CrossTraffic,
+    rng: &mut R,
+) -> (ConnectionOutcome, EngineTelemetry) {
     // No scenario — or nothing to attach it to (a hop-less path has no
     // bottleneck): run the plain single-flow connection with an untouched
     // RNG stream so the fallback really is bit-identical.
     if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
-        return run_connection(client_config, behavior, path, config, rng);
+        return run_connection_with_telemetry(client_config, behavior, path, config, rng);
     }
     let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
     let mut server = ServerConnection::new(behavior, rng.gen());
@@ -327,8 +368,9 @@ pub fn run_connection_under_load<R: Rng + ?Sized>(
     let mut flow = QuicFlow::new(&mut client, &mut server, path, config, rng);
     engine.add_flow(&mut flow);
     engine.run();
+    let telemetry = engine.telemetry();
     drop(engine);
-    flow.into_outcome()
+    (flow.into_outcome(), telemetry)
 }
 
 fn encapsulate(
@@ -673,6 +715,59 @@ mod tests {
             &mut rng,
         );
         assert_eq!(off, solo);
+    }
+
+    #[test]
+    fn telemetry_variant_is_outcome_identical_and_observes_the_run() {
+        let (client_addr, server_addr) = addrs();
+        let path = clean_path();
+        let driver = DriverConfig::new(client_addr, server_addr);
+
+        let mut rng = StdRng::seed_from_u64(55);
+        let plain = run_connection(
+            ClientConfig::paper_default("www.example.org"),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(55);
+        let (observed, telemetry) = run_connection_with_telemetry(
+            ClientConfig::paper_default("www.example.org"),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &mut rng,
+        );
+        assert_eq!(observed, plain, "telemetry reads must not perturb the run");
+        let events = telemetry
+            .metrics
+            .counter("engine.events_processed")
+            .expect("engine counter");
+        assert!(events > 0);
+        assert_eq!(telemetry.trace.len() as u64, events, "one wake per event");
+        assert!(telemetry.trace.windows(2).all(|w| w[0].at <= w[1].at));
+        // No shared queues in the single-flow wrapper: no queue metrics.
+        assert!(telemetry.metrics.counter("queue.r1.enqueued").is_none());
+
+        // Under congestion the same API surfaces the bottleneck's counters.
+        let mut rng = StdRng::seed_from_u64(55);
+        let (_, loaded) = run_connection_under_load_with_telemetry(
+            ClientConfig::paper_default("www.example.org"),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &qem_netsim::CrossTraffic::congested(),
+            &mut rng,
+        );
+        let marked: u64 = loaded
+            .metrics
+            .metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with("queue.") && name.ends_with(".marked"))
+            .filter_map(|(name, _)| loaded.metrics.counter(name))
+            .sum();
+        assert!(marked > 0, "congested bottleneck must report CE marks");
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod transport_params;
 pub use behavior::{EcnMirroringBehavior, ServerBehavior};
 pub use client::{ClientConfig, ClientConnection, ClientEcnMode, ClientReport};
 pub use driver::{
-    run_connection, run_connection_under_load, run_with_endpoints, ConnectionOutcome, DriverConfig,
-    QuicFlow,
+    run_connection, run_connection_under_load, run_connection_under_load_with_telemetry,
+    run_connection_with_telemetry, run_with_endpoints, ConnectionOutcome, DriverConfig, QuicFlow,
 };
 pub use ecn::{EcnConfig, EcnValidationFailure, EcnValidationState, EcnValidator};
 pub use server::ServerConnection;

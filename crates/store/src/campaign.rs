@@ -8,11 +8,13 @@
 //! bit-identical to an uninterrupted run at any worker count.
 
 use crate::longitudinal::{LongitudinalStore, LongitudinalWriter};
-use crate::store::{CampaignWriter, SnapshotMeta, StoredSnapshot};
+use crate::segment::write_atomically;
+use crate::store::{CampaignWriter, SnapshotMeta, StoredSnapshot, WriterStats, TELEMETRY_FILE};
 use crate::StoreError;
 use qem_core::campaign::{Campaign, CampaignOptions};
 use qem_core::scanner::{ScanOptions, Scanner};
 use qem_core::vantage::VantagePoint;
+use qem_obs::RunTelemetry;
 use qem_web::SnapshotDate;
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -48,6 +50,26 @@ where
         None => Ok(()),
         Some(e) => Err(e),
     }
+}
+
+/// The `telemetry.json` written next to the segments by store-backed runs:
+/// the scan's deterministic metrics plus what the writer did.  Informational
+/// only — never part of the snapshot identity or the measurement data.
+fn write_run_telemetry(
+    dir: &Path,
+    meta: &SnapshotMeta,
+    scanner: &Scanner<'_>,
+    stats: WriterStats,
+) -> Result<(), StoreError> {
+    let mut telemetry = RunTelemetry::new();
+    telemetry.set_info("campaign", "snapshot");
+    telemetry.set_info("date", meta.date.to_string());
+    telemetry.set_info("family", if meta.ipv6 { "v6" } else { "v4" });
+    telemetry.set_info("probe", format!("{:?}", meta.probe));
+    telemetry.set_info("seed", meta.seed.to_string());
+    telemetry.insert_section("scan", scanner.metrics_snapshot());
+    telemetry.insert_section("store", stats.telemetry());
+    write_atomically(&dir.join(TELEMETRY_FILE), telemetry.to_json().as_bytes())
 }
 
 /// Stores hold only the single-flow methodology (see [`CampaignStoreExt`]).
@@ -131,7 +153,9 @@ impl CampaignStoreExt for Campaign<'_> {
         );
         let population = universe.scan_population(ipv6);
         scan_into(&scanner, &population, |m| writer.append(m))?;
-        writer.finish()
+        let (store, stats) = writer.finish_with_stats()?;
+        write_run_telemetry(dir, &meta, &scanner, stats)?;
+        Ok(store)
     }
 
     fn resume_snapshot_to_store(
@@ -177,7 +201,8 @@ impl CampaignStoreExt for Campaign<'_> {
             },
         );
         scan_into(&scanner, &remaining, |m| writer.append(m))?;
-        let store = writer.finish()?;
+        let (store, stats) = writer.finish_with_stats()?;
+        write_run_telemetry(dir, &meta, &scanner, stats)?;
         Ok(ResumeOutcome {
             store,
             skipped_hosts: persisted.len(),
@@ -277,6 +302,12 @@ mod tests {
         assert_eq!(stored.to_snapshot().unwrap().hosts, in_memory.hosts);
         assert_eq!(stored.date(), in_memory.date);
         assert_eq!(stored.vantage(), &in_memory.vantage);
+        let telemetry = stored
+            .telemetry_json()
+            .unwrap()
+            .expect("store-backed runs persist their telemetry");
+        assert!(telemetry.contains("\"scan.hosts\""));
+        assert!(telemetry.contains("\"store.segments_written\""));
         // The persisted identity names exactly this campaign — and rejects
         // any options that would produce different measurements.
         assert!(stored.meta().matches(&options, &vantage, false));
@@ -347,6 +378,16 @@ mod tests {
             "every host is either reused or scanned exactly once"
         );
         assert_eq!(outcome.store.to_snapshot().unwrap().hosts, reference.hosts);
+        // The resume's telemetry records how much work the store saved.
+        let telemetry = outcome.store.telemetry_json().unwrap().unwrap();
+        let needle = format!(
+            "\"store.resume_skipped\": {{\"type\": \"counter\", \"value\": {}}}",
+            outcome.skipped_hosts
+        );
+        assert!(
+            telemetry.contains(&needle),
+            "telemetry must record the skipped prefix:\n{telemetry}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

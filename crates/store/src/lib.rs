@@ -39,7 +39,9 @@ pub mod wire;
 pub use campaign::{scan_into, CampaignStoreExt, ResumeOutcome};
 pub use codec::FORMAT_VERSION;
 pub use longitudinal::{LongitudinalStore, LongitudinalWriter};
-pub use store::{CampaignWriter, MeasurementIter, SnapshotMeta, StoredSnapshot};
+pub use store::{
+    CampaignWriter, MeasurementIter, SnapshotMeta, StoredSnapshot, WriterStats, TELEMETRY_FILE,
+};
 
 use std::fmt;
 

@@ -14,7 +14,7 @@
 //! always in one of three states: empty, a resumable prefix of a campaign,
 //! or a complete snapshot.
 
-use crate::codec::FORMAT_VERSION;
+use crate::codec::{encode_block, FORMAT_VERSION};
 use crate::segment::{
     list_segments, read_segment, remove_tmp_orphans, write_atomically, write_segment,
 };
@@ -25,6 +25,7 @@ use qem_core::observation::HostMeasurement;
 use qem_core::scanner::ProbeMode;
 use qem_core::source::SnapshotSource;
 use qem_core::vantage::{CloudProvider, VantagePoint, VantageQuirks};
+use qem_obs::MetricsSnapshot;
 use qem_web::SnapshotDate;
 use std::collections::BTreeMap;
 use std::fs;
@@ -37,6 +38,9 @@ const COMPLETE_MAGIC: &[u8; 4] = b"QDON";
 pub const META_FILE: &str = "snapshot.meta";
 /// End marker file; its presence means the snapshot is complete.
 pub const COMPLETE_FILE: &str = "COMPLETE";
+/// Optional [`qem_obs::RunTelemetry`] JSON written next to the segments by
+/// store-backed campaign runs.
+pub const TELEMETRY_FILE: &str = "telemetry.json";
 
 /// Records per segment file.  4096 full measurements (reports plus traces)
 /// stay in the low tens of megabytes — the writer's entire memory footprint.
@@ -258,6 +262,45 @@ fn read_complete_marker(dir: &Path) -> Result<Option<u64>, StoreError> {
 // Writer
 // ---------------------------------------------------------------------------
 
+/// What a [`CampaignWriter`] has done so far, as plain counters.
+///
+/// All values are byte-exact properties of the written artifacts, so for a
+/// fixed segment capacity they are as deterministic as the store itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Segment files flushed to disk.
+    pub segments_written: u64,
+    /// Total size of the flushed segment files, framing and checksums
+    /// included.
+    pub bytes_written: u64,
+    /// Measurements flushed to disk (excluding any still buffered).
+    pub records_written: u64,
+    /// What the flushed measurements would occupy encoded one record per
+    /// block — i.e. without sharing the per-segment dictionaries.  The
+    /// ratio `bytes_written / raw_bytes` is the codec's true
+    /// dictionary-compression win.
+    pub raw_bytes: u64,
+    /// Records found already persisted by [`CampaignWriter::resume`] and
+    /// therefore never re-written.
+    pub resume_skipped: u64,
+}
+
+impl WriterStats {
+    /// The stats as a `store.*` metrics snapshot (for [`qem_obs::RunTelemetry`]).
+    pub fn telemetry(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("store.segments_written", self.segments_written);
+        snap.set_counter("store.bytes_written", self.bytes_written);
+        snap.set_counter("store.records_written", self.records_written);
+        snap.set_counter("store.raw_bytes", self.raw_bytes);
+        snap.set_counter("store.resume_skipped", self.resume_skipped);
+        if let Some(pct) = (self.bytes_written * 100).checked_div(self.raw_bytes) {
+            snap.set_gauge("store.codec_ratio_pct", pct);
+        }
+        snap
+    }
+}
+
 /// Streaming snapshot writer: measurements come in (in ascending host-id
 /// order, which is what [`qem_core::Scanner::scan_hosts_streaming`]
 /// delivers), segments go out.  At most one segment of measurements is held
@@ -269,6 +312,7 @@ pub struct CampaignWriter {
     next_segment: u32,
     appended: u64,
     last_host_id: Option<usize>,
+    stats: WriterStats,
 }
 
 impl CampaignWriter {
@@ -297,6 +341,7 @@ impl CampaignWriter {
             next_segment: 0,
             appended: 0,
             last_host_id: None,
+            stats: WriterStats::default(),
         })
     }
 
@@ -327,6 +372,10 @@ impl CampaignWriter {
             next_segment: segments.len() as u32,
             appended: persisted.len() as u64,
             last_host_id: persisted.last().copied(),
+            stats: WriterStats {
+                resume_skipped: persisted.len() as u64,
+                ..WriterStats::default()
+            },
         };
         Ok((writer, meta, persisted))
     }
@@ -341,6 +390,11 @@ impl CampaignWriter {
     /// found by [`CampaignWriter::resume`]).
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// What this writer has done so far.
+    pub fn stats(&self) -> WriterStats {
+        self.stats
     }
 
     /// Append one measurement; spills a segment to disk when the buffer
@@ -367,7 +421,15 @@ impl CampaignWriter {
         if self.buf.is_empty() {
             return Ok(());
         }
-        write_segment(&self.dir, self.next_segment, &self.buf)?;
+        // The codec baseline: what these records cost encoded one per block,
+        // i.e. without amortising the per-segment dictionaries.
+        for m in &self.buf {
+            self.stats.raw_bytes += encode_block(std::slice::from_ref(m)).len() as u64;
+        }
+        let path = write_segment(&self.dir, self.next_segment, &self.buf)?;
+        self.stats.segments_written += 1;
+        self.stats.bytes_written += fs::metadata(&path)?.len();
+        self.stats.records_written += self.buf.len() as u64;
         self.next_segment += 1;
         self.buf.clear();
         Ok(())
@@ -376,10 +438,16 @@ impl CampaignWriter {
     /// Flush the remaining buffer and seal the snapshot with its `COMPLETE`
     /// marker.  Dropping the writer without calling this leaves a valid,
     /// resumable prefix — that is the crash-consistency story, not an error.
-    pub fn finish(mut self) -> Result<StoredSnapshot, StoreError> {
+    pub fn finish(self) -> Result<StoredSnapshot, StoreError> {
+        Ok(self.finish_with_stats()?.0)
+    }
+
+    /// Like [`CampaignWriter::finish`], additionally returning the final
+    /// [`WriterStats`] (which are consumed by sealing).
+    pub fn finish_with_stats(mut self) -> Result<(StoredSnapshot, WriterStats), StoreError> {
         self.flush_segment()?;
         write_complete_marker(&self.dir, self.appended)?;
-        StoredSnapshot::open(&self.dir)
+        Ok((StoredSnapshot::open(&self.dir)?, self.stats))
     }
 }
 
@@ -393,6 +461,7 @@ impl CampaignWriter {
 /// it directly — decoding one segment at a time, never the whole campaign.
 #[derive(Debug)]
 pub struct StoredSnapshot {
+    dir: PathBuf,
     meta: SnapshotMeta,
     segments: Vec<PathBuf>,
     recorded_count: Option<u64>,
@@ -417,6 +486,7 @@ impl StoredSnapshot {
         let segments = list_segments(dir)?;
         let recorded_count = read_complete_marker(dir)?;
         Ok(StoredSnapshot {
+            dir: dir.to_path_buf(),
             meta,
             segments,
             recorded_count,
@@ -441,6 +511,17 @@ impl StoredSnapshot {
     /// Number of segment files.
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// The [`qem_obs::RunTelemetry`] JSON written next to the segments by a
+    /// store-backed campaign run, if any.  Purely informational — never part
+    /// of the snapshot identity or the measurement data.
+    pub fn telemetry_json(&self) -> Result<Option<String>, StoreError> {
+        match fs::read_to_string(self.dir.join(TELEMETRY_FILE)) {
+            Ok(json) => Ok(Some(json)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Stream every measurement, one segment in memory at a time.
@@ -625,6 +706,40 @@ mod tests {
         assert_eq!(stored.segment_count(), 4); // 7 + 7 + 7 + 2
         let read: Vec<HostMeasurement> = stored.iter().map(|r| r.unwrap()).collect();
         assert_eq!(read, hosts);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_stats_account_for_segments_bytes_and_the_codec_win() {
+        let dir = temp_dir("stats");
+        let mut writer = CampaignWriter::create(&dir, &meta())
+            .unwrap()
+            .with_segment_capacity(7);
+        for id in 0..23 {
+            writer.append(measurement(id)).unwrap();
+        }
+        let buffered = writer.stats();
+        assert_eq!(buffered.segments_written, 3, "the tail is still buffered");
+        assert_eq!(buffered.records_written, 21);
+        let (stored, stats) = writer.finish_with_stats().unwrap();
+        assert_eq!(stats.segments_written, 4);
+        assert_eq!(stats.records_written, 23);
+        assert_eq!(stats.resume_skipped, 0);
+        let on_disk: u64 = (0..4)
+            .map(|i| {
+                fs::metadata(dir.join(crate::segment::segment_file_name(i)))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(stats.bytes_written, on_disk);
+        assert!(
+            stats.raw_bytes > 0,
+            "single-record baseline must be measured"
+        );
+        let telemetry = stats.telemetry();
+        assert_eq!(telemetry.counter("store.records_written"), Some(23));
+        assert_eq!(stored.telemetry_json().unwrap(), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -11,14 +11,19 @@
 //!   `determinism-gate` job diffs a `--workers 1` run against `--workers 0`.
 //! * `--tiny` — use the tiny test universe instead of the full 1:250 scale
 //!   (what CI runs to keep the gate fast).
+//! * `--metrics` — print the run's telemetry (deterministic scan metrics as
+//!   JSON on stdout; wall-clock throughput on stderr, where it cannot
+//!   perturb the determinism gate's byte diff).
 
 use qem_core::reports::{figure5, table1, table2, table3, table5, table6};
 use qem_core::{Campaign, CampaignOptions};
+use qem_obs::{RateMeter, WallClock};
 use qem_web::{parking, Universe, UniverseConfig};
 
-fn parse_args() -> (usize, bool) {
+fn parse_args() -> (usize, bool, bool) {
     let mut workers = 0usize;
     let mut tiny = false;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,17 +38,20 @@ fn parse_args() -> (usize, bool) {
                 });
             }
             "--tiny" => tiny = true,
+            "--metrics" => metrics = true,
             other => {
-                eprintln!("unknown argument: {other} (expected --workers <n> or --tiny)");
+                eprintln!(
+                    "unknown argument: {other} (expected --workers <n>, --tiny or --metrics)"
+                );
                 std::process::exit(2);
             }
         }
     }
-    (workers, tiny)
+    (workers, tiny, metrics)
 }
 
 fn main() {
-    let (workers, tiny) = parse_args();
+    let (workers, tiny, metrics) = parse_args();
     let config = if tiny {
         UniverseConfig::tiny()
     } else {
@@ -67,7 +75,10 @@ fn main() {
         workers,
         ..CampaignOptions::paper_default()
     };
-    let result = campaign.run_main(&options, true);
+    let clock = WallClock::new();
+    let meter = RateMeter::start(&clock);
+    let (result, telemetry) = campaign.run_main_with_telemetry(&options, true);
+    let elapsed = meter.elapsed_micros(&clock);
 
     println!("{}", table1(&universe, &result.v4));
     println!("{}", table2(&universe, &result.v4));
@@ -83,4 +94,23 @@ fn main() {
         "Parking check (§5.1): {parked} QUIC com/net/org domains parked ({:.2} % — paper: 0.6 %)",
         share * 100.0
     );
+
+    if metrics {
+        // Deterministic telemetry → stdout (part of the byte-diffed output);
+        // wall-clock throughput → stderr (varies run to run, by design).
+        print!("{}", telemetry.to_json());
+        let hosts = telemetry
+            .section("scan.v4")
+            .and_then(|s| s.counter("scan.hosts"))
+            .unwrap_or(0)
+            + telemetry
+                .section("scan.v6")
+                .and_then(|s| s.counter("scan.hosts"))
+                .unwrap_or(0);
+        eprintln!(
+            "scanned {hosts} hosts in {:.2}s ({:.0} hosts/sec wall clock)",
+            elapsed as f64 / 1e6,
+            meter.per_second(&clock, hosts)
+        );
+    }
 }

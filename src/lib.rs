@@ -9,6 +9,7 @@
 
 pub use qem_core as core;
 pub use qem_netsim as netsim;
+pub use qem_obs as obs;
 pub use qem_packet as packet;
 pub use qem_quic as quic;
 pub use qem_store as store;

@@ -22,12 +22,21 @@ use qem_core::reports::{
     table7,
 };
 use qem_core::{Campaign, CampaignOptions};
+use qem_netsim::{build_transit_path, Asn, DuplexPath, TransitProfile};
+use qem_quic::{run_connection_with_telemetry, ClientConfig, DriverConfig, ServerBehavior};
 use qem_web::{SnapshotDate, Universe, UniverseConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::net::{IpAddr, Ipv4Addr};
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_reports_tiny.txt")
+}
+
+fn golden_engine_metrics_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_engine_metrics.txt")
 }
 
 /// Render every table and figure the acceptance criteria name (Tables 1–7,
@@ -76,20 +85,56 @@ fn render_all_reports() -> String {
     out
 }
 
-#[test]
-fn reports_match_golden_snapshot() {
-    let rendered = render_all_reports();
-    let path = golden_path();
+/// One clean-path single-flow engine run (the driver's canonical "capable"
+/// scenario), rendered as its metrics JSON plus the virtual-time wake trace.
+fn render_engine_metrics() -> String {
+    let path = DuplexPath::symmetric_clean_reverse(build_transit_path(
+        Asn::DFN,
+        Asn(16509),
+        TransitProfile::Clean,
+        false,
+    ));
+    let client_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10));
+    let server_addr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 80));
+    let mut rng = StdRng::seed_from_u64(1);
+    let (outcome, telemetry) = run_connection_with_telemetry(
+        ClientConfig::paper_default("www.example.org"),
+        ServerBehavior::accurate(),
+        &path,
+        &DriverConfig::new(client_addr, server_addr),
+        &mut rng,
+    );
+    assert!(outcome.report.connected, "the golden scenario must connect");
+
+    let mut out = String::new();
+    writeln!(out, "{}", telemetry.metrics.to_json()).unwrap();
+    for wake in &telemetry.trace {
+        writeln!(out, "wake flow={} at_us={}", wake.flow, wake.at.as_micros()).unwrap();
+    }
+    out
+}
+
+fn check_golden(path: PathBuf, rendered: &str) {
     if std::env::var_os("QEM_UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().expect("data dir")).expect("create data dir");
-        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        std::fs::write(&path, rendered).expect("write golden snapshot");
         return;
     }
     let golden = std::fs::read_to_string(&path)
         .expect("golden snapshot missing — run with QEM_UPDATE_GOLDEN=1 to create it");
     assert_eq!(
         golden, rendered,
-        "report output drifted from the golden snapshot; if the change is \
+        "output drifted from the golden snapshot; if the change is \
          intentional, regenerate with QEM_UPDATE_GOLDEN=1"
     );
+}
+
+#[test]
+fn reports_match_golden_snapshot() {
+    check_golden(golden_path(), &render_all_reports());
+}
+
+#[test]
+fn engine_metrics_match_golden_snapshot() {
+    check_golden(golden_engine_metrics_path(), &render_engine_metrics());
 }
