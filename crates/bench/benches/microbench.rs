@@ -12,7 +12,7 @@ use qem_packet::quic::{
     QuicVersion,
 };
 use qem_quic::ecn::{EcnConfig, EcnValidator};
-use qem_quic::{run_connection, ClientConfig, DriverConfig, ServerBehavior};
+use qem_quic::{ClientConfig, ConnectionRun, DriverConfig, ServerBehavior};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -137,13 +137,15 @@ fn full_connection(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(77);
     group.bench_function("quic_handshake_request_validation", |b| {
         b.iter(|| {
-            black_box(run_connection(
-                ClientConfig::paper_default("bench.example"),
-                ServerBehavior::accurate(),
-                &path,
-                &DriverConfig::new(client, server),
-                &mut rng,
-            ))
+            black_box(
+                ConnectionRun::new(
+                    ClientConfig::paper_default("bench.example"),
+                    ServerBehavior::accurate(),
+                    &path,
+                    DriverConfig::new(client, server),
+                )
+                .execute(&mut rng),
+            )
         })
     });
     group.finish();

@@ -14,11 +14,8 @@ use crate::vantage::VantagePoint;
 use qem_netsim::{build_duplex_path, Asn, CrossTraffic, DuplexPath, TransitProfile};
 use qem_obs::MetricsSnapshot;
 use qem_quic::behavior::EcnMirroringBehavior;
-use qem_quic::{
-    run_connection_under_load_with_telemetry, run_connection_with_telemetry, ClientConfig,
-    DriverConfig, EcnConfig,
-};
-use qem_tcp::{run_tcp_connection, run_tcp_connection_under_load, TcpClientConfig};
+use qem_quic::{ClientConfig, ConnectionRun, DriverConfig, EcnConfig};
+use qem_tcp::{TcpClientConfig, TcpConnectionRun};
 use qem_tracebox::{analyze_trace, trace_path, TraceConfig};
 use qem_web::{SnapshotDate, StackProfile, Universe};
 use rand::rngs::StdRng;
@@ -214,23 +211,20 @@ impl<'a> Scanner<'a> {
             };
             let driver = DriverConfig::new(client_addr, server_addr);
             self.metrics.quic_attempted.inc();
-            let (outcome, telemetry) = if self.options.cross_traffic.is_enabled() {
-                run_connection_under_load_with_telemetry(
-                    client_config,
-                    behavior,
-                    &path,
-                    &driver,
-                    &self.options.cross_traffic,
-                    &mut rng,
-                )
-            } else {
-                run_connection_with_telemetry(client_config, behavior, &path, &driver, &mut rng)
-            };
+            // A disabled scenario falls back to the plain single-flow run
+            // inside the builder, so the old enabled/disabled call matrix
+            // collapses into one expression.
+            let run = ConnectionRun::new(client_config, behavior, &path, driver)
+                .cross_traffic(self.options.cross_traffic)
+                .telemetry(true)
+                .execute(&mut rng);
+            let outcome = run.connection;
             self.metrics
                 .quic_elapsed_us
                 .record(outcome.elapsed.as_micros());
             self.metrics.quic_forward_losses.add(outcome.forward_losses);
             self.metrics.quic_reverse_losses.add(outcome.reverse_losses);
+            let telemetry = run.telemetry.unwrap_or_default();
             self.metrics.absorb_engine(&telemetry.metrics);
             outcome.report
         });
@@ -250,26 +244,18 @@ impl<'a> Scanner<'a> {
             ProbeMode::Ect0 => TcpClientConfig::ect0(),
             ProbeMode::ForceCe => TcpClientConfig::force_ce(),
         };
-        let tcp_report = Some(if self.options.cross_traffic.is_enabled() {
-            run_tcp_connection_under_load(
+        let tcp_report = Some(
+            TcpConnectionRun::new(
                 tcp_config,
                 host.tcp_behavior(),
                 client_addr,
                 server_addr,
                 &path,
-                &self.options.cross_traffic,
-                &mut rng,
             )
-        } else {
-            run_tcp_connection(
-                tcp_config,
-                host.tcp_behavior(),
-                client_addr,
-                server_addr,
-                &path,
-                &mut rng,
-            )
-        });
+            .cross_traffic(self.options.cross_traffic)
+            .execute(&mut rng)
+            .report,
+        );
         self.metrics.tcp_probed.inc();
         if tcp_report.as_ref().is_some_and(|r| r.connected) {
             self.metrics.tcp_connected.inc();

@@ -118,6 +118,16 @@ fn panic_fixture_fires_on_every_abort_macro_and_method() {
 }
 
 #[test]
+fn scheduler_files_are_panic_policy_zones() {
+    // The timer wheel and its arena joined the engine's hot path; the
+    // panic policy must cover them at their exact paths.
+    for path in ["crates/netsim/src/wheel.rs", "crates/netsim/src/arena.rs"] {
+        let lines = fired_lines(path, "violations/panics.rs", "panic-policy");
+        assert_eq!(lines, BTreeSet::from([4, 5, 7, 10, 11, 12]), "{path}");
+    }
+}
+
+#[test]
 fn unsafe_fixture_fires_only_without_a_safety_comment() {
     let lines = fired_lines(
         "crates/packet/src/fixture.rs",

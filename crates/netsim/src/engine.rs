@@ -6,10 +6,14 @@
 //! is a per-flow constant rather than an emergent property of congestion.
 //! This module adds the missing piece, in three layers:
 //!
-//! * [`EventQueue`] — a binary heap of `(SimInstant, EventId)` with
-//!   deterministic FIFO tie-breaking: two events scheduled for the same
-//!   instant fire in the order they were scheduled, on every run, on every
-//!   machine.
+//! * [`Scheduler`] — the event-scheduling boundary: virtual time, FIFO
+//!   tie-breaking (two events scheduled for the same instant fire in the
+//!   order they were scheduled, on every run, on every machine), O(1)
+//!   cancellation by [`EventId`], and same-instant batch draining.  Two
+//!   implementations share the contract: [`EventQueue`], the original
+//!   binary heap, kept as the reference oracle differential tests compare
+//!   against; and [`TimerWheel`](crate::wheel::TimerWheel), the
+//!   hierarchical timer wheel production engines run on.
 //! * [`SharedQueues`] — real egress queues attached to routers by
 //!   [`RouterId`].  Packets from *all* flows crossing a registered router
 //!   occupy the same queue; [`OccupancyAqm`](crate::aqm::OccupancyAqm) marks
@@ -30,6 +34,7 @@ use crate::aqm::{AqmDecision, OccupancyAqm};
 use crate::path::Path;
 use crate::router::RouterId;
 use crate::time::{SimDuration, SimInstant};
+use crate::wheel::TimerWheel;
 use qem_obs::{Histogram, MetricsSnapshot, TraceRing};
 use qem_packet::ecn::EcnCodepoint;
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
@@ -37,23 +42,88 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::net::IpAddr;
 
 // ---------------------------------------------------------------------------
-// Event queue
+// The scheduler boundary
 // ---------------------------------------------------------------------------
 
-/// Identifier of a scheduled event, unique within one [`EventQueue`].
+/// Identifier of a scheduled event, unique within one [`Scheduler`].
+///
+/// The encoding is implementation-private: the heap hands out sequence
+/// numbers, the wheel hands out packed arena keys.  Ids are only meaningful
+/// to the scheduler that produced them — hold on to one to cancel the event
+/// later via [`Scheduler::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u64);
+
+/// Running counters of one [`Scheduler`], surfaced through
+/// [`EngineCore::telemetry`] so cancellations are never silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerStats {
+    /// Events accepted by `schedule_at` / `schedule_after`.
+    pub scheduled: u64,
+    /// Successful `cancel` calls.
+    pub cancelled: u64,
+    /// Cancelled (stale) entries encountered and discarded while popping or
+    /// cascading — every successful cancel eventually shows up here too.
+    pub stale: u64,
+}
+
+/// The event-scheduling contract of the engine: virtual time with FIFO
+/// tie-breaking, cancellation by [`EventId`] and same-instant batch
+/// draining.
+///
+/// Both implementations — [`EventQueue`] (binary heap, the reference
+/// oracle) and [`TimerWheel`](crate::wheel::TimerWheel) (the production
+/// scheduler) — produce bit-identical `(fire time, schedule order)` event
+/// sequences for identical workloads; `tests/scheduler_differential.rs`
+/// and the schedule/cancel proptests pin that equivalence down.
+pub trait Scheduler<T> {
+    /// The current virtual time: the fire time of the last event handed
+    /// out (cancelled events drained past also advance the clock).
+    fn now(&self) -> SimInstant;
+
+    /// Number of pending (scheduled, neither fired nor cancelled) events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at `at` (clamped to the present: events cannot
+    /// fire in the past).  The returned id can cancel the event until it
+    /// fires.
+    fn schedule_at(&mut self, at: SimInstant, payload: T) -> EventId;
+
+    /// Schedule `payload` after `delay` from the current instant.
+    fn schedule_after(&mut self, delay: SimDuration, payload: T) -> EventId;
+
+    /// Cancel a pending event.  Returns `false` — and counts nothing — when
+    /// the id already fired, was already cancelled, or never existed.
+    fn cancel(&mut self, id: EventId) -> bool;
+
+    /// Pop the next event, advancing virtual time to its fire time.
+    fn pop(&mut self) -> Option<Event<T>>;
+
+    /// Drain every event firing at the next occupied instant into `out`
+    /// (cleared first), in FIFO order; returns the batch size.  Equivalent
+    /// to repeated [`pop`](Scheduler::pop) while the fire time stays equal —
+    /// the engine uses it to amortise dispatch across same-instant wakes.
+    fn pop_batch(&mut self, out: &mut Vec<Event<T>>) -> usize;
+
+    /// Scheduling/cancellation counters (monotone).
+    fn stats(&self) -> SchedulerStats;
+}
 
 /// A popped event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event<T> {
     /// When the event fires.
     pub at: SimInstant,
-    /// The event's id (also its FIFO sequence number).
+    /// The event's id (for [`EventQueue`], also its FIFO sequence number).
     pub id: EventId,
     /// The caller-supplied payload.
     pub payload: T,
@@ -86,11 +156,22 @@ impl<T> Ord for Scheduled<T> {
 }
 
 /// A binary-heap event queue over virtual time with FIFO tie-breaking.
+///
+/// The original engine scheduler, kept as the slow-but-obviously-correct
+/// reference oracle behind the [`Scheduler`] trait: differential tests
+/// drive it and [`TimerWheel`](crate::wheel::TimerWheel) through identical
+/// workloads and assert identical event sequences.  Cancellation here is
+/// O(n) (a membership scan plus a lazy tombstone) — the wheel is where
+/// cancels are O(1).
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    /// Sequence numbers of cancelled-but-still-heaped events, skipped (and
+    /// counted) lazily on pop.
+    tombstones: BTreeSet<u64>,
     next_seq: u64,
     now: SimInstant,
+    stats: SchedulerStats,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -104,8 +185,10 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            tombstones: BTreeSet::new(),
             next_seq: 0,
             now: SimInstant::EPOCH,
+            stats: SchedulerStats::default(),
         }
     }
 
@@ -114,17 +197,19 @@ impl<T> EventQueue<T> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending events (cancelled ones no longer count, even while
+    /// their tombstoned heap entries await lazy removal).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.tombstones.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Fire time of the next pending event.
+    /// Fire time of the next heap entry.  May report a cancelled event's
+    /// time: tombstones are only resolved on pop.
     pub fn peek_at(&self) -> Option<SimInstant> {
         self.heap.peek().map(|Reverse(s)| s.at)
     }
@@ -134,6 +219,7 @@ impl<T> EventQueue<T> {
     pub fn schedule_at(&mut self, at: SimInstant, payload: T) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.stats.scheduled += 1;
         self.heap.push(Reverse(Scheduled {
             at: at.max(self.now),
             seq,
@@ -148,15 +234,100 @@ impl<T> EventQueue<T> {
         self.schedule_at(at, payload)
     }
 
-    /// Pop the next event, advancing virtual time to its fire time.
+    /// Cancel a pending event.  O(n): the heap is scanned to prove the id
+    /// is actually pending (this is the reference oracle — the wheel does
+    /// this in O(1)), then a tombstone defers removal to pop time.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let seq = id.0;
+        if self.tombstones.contains(&seq) {
+            return false;
+        }
+        if !self.heap.iter().any(|Reverse(s)| s.seq == seq) {
+            return false;
+        }
+        self.tombstones.insert(seq);
+        self.stats.cancelled += 1;
+        true
+    }
+
+    /// Pop the next live event, advancing virtual time to its fire time.
+    /// Tombstoned entries drained on the way are counted as stale; like the
+    /// wheel, draining past them still advances the clock.
     pub fn pop(&mut self) -> Option<Event<T>> {
-        let Reverse(scheduled) = self.heap.pop()?;
-        self.now = self.now.max(scheduled.at);
-        Some(Event {
-            at: scheduled.at,
-            id: EventId(scheduled.seq),
-            payload: scheduled.payload,
-        })
+        loop {
+            let Reverse(scheduled) = self.heap.pop()?;
+            self.now = self.now.max(scheduled.at);
+            if self.tombstones.remove(&scheduled.seq) {
+                self.stats.stale += 1;
+                continue;
+            }
+            return Some(Event {
+                at: scheduled.at,
+                id: EventId(scheduled.seq),
+                payload: scheduled.payload,
+            });
+        }
+    }
+
+    /// Drain the whole batch of events sharing the next occupied fire time
+    /// into `out` (cleared first), FIFO within the batch.
+    pub fn pop_batch(&mut self, out: &mut Vec<Event<T>>) -> usize {
+        out.clear();
+        let Some(first) = self.pop() else {
+            return 0;
+        };
+        let at = first.at;
+        out.push(first);
+        while let Some(Reverse(next)) = self.heap.peek() {
+            if next.at != at {
+                break;
+            }
+            let Some(Reverse(scheduled)) = self.heap.pop() else {
+                break;
+            };
+            if self.tombstones.remove(&scheduled.seq) {
+                self.stats.stale += 1;
+                continue;
+            }
+            out.push(Event {
+                at: scheduled.at,
+                id: EventId(scheduled.seq),
+                payload: scheduled.payload,
+            });
+        }
+        out.len()
+    }
+
+    /// Scheduling/cancellation counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+}
+
+impl<T> Scheduler<T> for EventQueue<T> {
+    fn now(&self) -> SimInstant {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn schedule_at(&mut self, at: SimInstant, payload: T) -> EventId {
+        EventQueue::schedule_at(self, at, payload)
+    }
+    fn schedule_after(&mut self, delay: SimDuration, payload: T) -> EventId {
+        EventQueue::schedule_after(self, delay, payload)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<Event<T>> {
+        EventQueue::pop(self)
+    }
+    fn pop_batch(&mut self, out: &mut Vec<Event<T>>) -> usize {
+        EventQueue::pop_batch(self, out)
+    }
+    fn stats(&self) -> SchedulerStats {
+        EventQueue::stats(self)
     }
 }
 
@@ -389,38 +560,55 @@ pub const DEFAULT_EVENT_LOG_CAPACITY: usize = 65_536;
 
 /// Post-run observability bundle of one engine: deterministic metrics plus
 /// the (ring-bounded) virtual-time wake trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineTelemetry {
     /// Engine counters merged with [`SharedQueues::telemetry`].
     pub metrics: MetricsSnapshot,
-    /// Retained wake log, oldest first (see [`Engine::event_log`]).
+    /// Retained wake log, oldest first (see [`EngineCore::event_log`]).
     pub trace: Vec<FlowWake>,
 }
 
+/// The production engine: an [`EngineCore`] scheduling through the
+/// hierarchical [`TimerWheel`].  Every observable output — event log,
+/// telemetry, queue stats — is bit-identical to [`HeapEngine`]'s.
+pub type Engine<'a> = EngineCore<'a, TimerWheel<usize>>;
+
+/// The reference engine: an [`EngineCore`] scheduling through the original
+/// binary-heap [`EventQueue`].  Kept for differential tests and heap-vs-
+/// wheel benchmarks.
+pub type HeapEngine<'a> = EngineCore<'a, EventQueue<usize>>;
+
 /// The discrete-event scheduler: owns virtual time, the shared queues and
-/// the event heap, and drives registered flows to completion.
-pub struct Engine<'a> {
-    queue: EventQueue<usize>,
+/// a [`Scheduler`] implementation, and drives registered flows to
+/// completion.  Use the [`Engine`] alias (timer wheel) unless you are
+/// differentially testing against the [`HeapEngine`] oracle.
+pub struct EngineCore<'a, S: Scheduler<usize>> {
+    queue: S,
     flows: Vec<&'a mut dyn Flow>,
     shared: SharedQueues,
     log: TraceRing<FlowWake>,
     max_events: usize,
     events_processed: u64,
+    /// Reusable same-instant dispatch batch (see [`EngineCore::run`]).
+    batch: Vec<Event<usize>>,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, S: Scheduler<usize> + Default> EngineCore<'a, S> {
     /// An engine over the given shared queues.
     pub fn new(shared: SharedQueues) -> Self {
-        Engine {
-            queue: EventQueue::new(),
+        EngineCore {
+            queue: S::default(),
             flows: Vec::new(),
             shared,
             log: TraceRing::new(DEFAULT_EVENT_LOG_CAPACITY),
             max_events: 10_000_000,
             events_processed: 0,
+            batch: Vec::new(),
         }
     }
+}
 
+impl<'a, S: Scheduler<usize>> EngineCore<'a, S> {
     /// Cap the number of events processed (a livelock guard; the default is
     /// ten million).
     pub fn with_max_events(mut self, max_events: usize) -> Self {
@@ -430,7 +618,7 @@ impl<'a> Engine<'a> {
 
     /// Retain at most `capacity` wake-log entries (the newest ones; the
     /// default is [`DEFAULT_EVENT_LOG_CAPACITY`]).  Evictions are counted
-    /// in [`Engine::telemetry`] as `engine.trace.dropped`.
+    /// in [`EngineCore::telemetry`] as `engine.trace.dropped`.
     pub fn with_event_log_capacity(mut self, capacity: usize) -> Self {
         self.log = TraceRing::new(capacity);
         self
@@ -461,8 +649,9 @@ impl<'a> Engine<'a> {
     }
 
     /// The order in which flows were woken — identical across runs for
-    /// identical inputs, which the determinism gate asserts.  Bounded: only
-    /// the newest [`Engine::with_event_log_capacity`] wakes are retained.
+    /// identical inputs (and across scheduler implementations, which the
+    /// differential tests assert).  Bounded: only the newest
+    /// [`EngineCore::with_event_log_capacity`] wakes are retained.
     pub fn event_log(&self) -> Vec<FlowWake> {
         self.log.to_vec()
     }
@@ -485,33 +674,83 @@ impl<'a> Engine<'a> {
         metrics.set_counter("engine.trace.recorded", self.log.recorded());
         metrics.set_counter("engine.trace.dropped", self.log.dropped());
         metrics.set_gauge("engine.virtual_now_us", self.queue.now().as_micros());
+        // Cancellation counters are emitted only when nonzero: runs that
+        // never cancel — every golden-pinned scenario — keep byte-identical
+        // telemetry documents across the scheduler swap.
+        let sched = self.queue.stats();
+        if sched.cancelled > 0 {
+            metrics.set_counter("engine.sched.cancelled", sched.cancelled);
+        }
+        if sched.stale > 0 {
+            metrics.set_counter("engine.sched.stale_pops", sched.stale);
+        }
         EngineTelemetry {
             metrics,
             trace: self.log.to_vec(),
         }
     }
 
+    /// The scheduler's own counters (also folded into
+    /// [`EngineCore::telemetry`] when nonzero).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.queue.stats()
+    }
+
+    /// Schedule an extra wake for the flow at `index` (as returned by
+    /// [`EngineCore::add_flow`]) at `at`.  Unlike the automatic reschedule
+    /// of [`FlowStatus::Sleep`], the returned id makes this wake
+    /// cancellable via [`EngineCore::cancel_wake`] — O(1) on the default
+    /// wheel scheduler.
+    pub fn schedule_wake_at(&mut self, at: SimInstant, index: usize) -> EventId {
+        self.queue.schedule_at(at, index)
+    }
+
+    /// Cancel a wake scheduled with [`EngineCore::schedule_wake_at`].
+    /// Returns `false` when it already fired or was already cancelled;
+    /// successful cancels surface in telemetry as `engine.sched.cancelled`
+    /// (and, once the dead entry drains, `engine.sched.stale_pops`) —
+    /// never silently dropped.
+    pub fn cancel_wake(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
     /// Run until every flow is done (or the event cap is hit).
+    ///
+    /// Events are drained in same-instant batches ([`Scheduler::pop_batch`])
+    /// to amortise scheduler dispatch across flows sharing a tick — wakes
+    /// scheduled *during* a batch land at a later sequence number and thus
+    /// in a later batch, so the observable wake order is provably the same
+    /// as popping one event at a time.
     pub fn run(&mut self) {
         let mut processed = 0usize;
-        while let Some(event) = self.queue.pop() {
-            processed += 1;
-            if processed > self.max_events {
+        let mut batch = std::mem::take(&mut self.batch);
+        'run: loop {
+            if self.queue.pop_batch(&mut batch) == 0 {
                 break;
             }
-            self.events_processed += 1;
-            let index = event.payload;
-            self.log.push(FlowWake {
-                at: event.at,
-                flow: index,
-            });
-            match self.flows[index].on_wake(event.at, &mut self.shared) {
-                FlowStatus::Sleep(at) => {
-                    self.queue.schedule_at(at, index);
+            for &event in &batch {
+                processed += 1;
+                if processed > self.max_events {
+                    break 'run;
                 }
-                FlowStatus::Done => {}
+                self.events_processed += 1;
+                let index = event.payload;
+                self.log.push(FlowWake {
+                    at: event.at,
+                    flow: index,
+                });
+                let Some(flow) = self.flows.get_mut(index) else {
+                    continue;
+                };
+                match flow.on_wake(event.at, &mut self.shared) {
+                    FlowStatus::Sleep(at) => {
+                        self.queue.schedule_at(at, index);
+                    }
+                    FlowStatus::Done => {}
+                }
             }
         }
+        self.batch = batch;
     }
 }
 

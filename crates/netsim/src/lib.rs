@@ -28,20 +28,25 @@
 #![warn(missing_docs)]
 
 pub mod aqm;
+pub mod arena;
 pub mod engine;
 pub mod path;
 pub mod policy;
 pub mod router;
 pub mod time;
 pub mod topology;
+pub mod wheel;
 
 pub use aqm::{AqmConfig, AqmKind, OccupancyAqm};
+pub use arena::{ArenaKey, EventArena};
 pub use engine::{
-    CrossTraffic, Engine, EngineTelemetry, EventId, EventQueue, Flow, FlowStatus, FlowWake,
-    LoadFlow, QueueConfig, QueueStats, SharedQueues, DEFAULT_EVENT_LOG_CAPACITY,
+    CrossTraffic, Engine, EngineCore, EngineTelemetry, EventId, EventQueue, Flow, FlowStatus,
+    FlowWake, HeapEngine, LoadFlow, QueueConfig, QueueStats, Scheduler, SchedulerStats,
+    SharedQueues, DEFAULT_EVENT_LOG_CAPACITY,
 };
 pub use path::{DuplexPath, Hop, Path, TransitOutcome};
 pub use policy::{DscpPolicy, EcnPolicy};
 pub use router::{IcmpBehavior, Router, RouterId};
 pub use time::{SimClock, SimDuration, SimInstant};
 pub use topology::{build_duplex_path, build_transit_path, Asn, PathBuilder, TransitProfile};
+pub use wheel::TimerWheel;

@@ -12,11 +12,22 @@
 //! so lossy paths exercise the client's PTO/retransmission logic exactly as
 //! real packet loss would.
 //!
-//! [`run_connection`] is a thin wrapper driving a one-flow engine with no
-//! shared queues; its output is bit-identical to the historical
-//! per-connection loop.  [`run_connection_under_load`] runs the same flow
-//! next to background [`LoadFlow`](qem_netsim::LoadFlow)s through a shared
-//! bottleneck, which is where CE marking becomes load-dependent.
+//! [`ConnectionRun`] is the one entrypoint: a builder selecting cross
+//! traffic and telemetry instead of a function per combination —
+//!
+//! ```ignore
+//! let outcome = ConnectionRun::new(client_config, behavior, &path, driver)
+//!     .cross_traffic(CrossTraffic::congested())
+//!     .telemetry(true)
+//!     .execute(&mut rng);
+//! ```
+//!
+//! Without cross traffic it drives a one-flow engine with no shared queues,
+//! bit-identical to the historical per-connection loop; with it, the same
+//! flow runs next to background [`LoadFlow`](qem_netsim::LoadFlow)s through
+//! a shared bottleneck, which is where CE marking becomes load-dependent.
+//! The legacy `run_connection*` function matrix survives as thin deprecated
+//! wrappers, each proven equivalent by the existing tests.
 
 use crate::behavior::ServerBehavior;
 use crate::client::{ClientConfig, ClientConnection, ClientReport};
@@ -256,7 +267,129 @@ impl<R: Rng + ?Sized> Flow for QuicFlow<'_, R> {
     }
 }
 
+/// A complete client↔server run: the measured [`ConnectionOutcome`] plus,
+/// when requested via [`ConnectionRun::telemetry`], the engine's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// What the measured connection observed.
+    pub connection: ConnectionOutcome,
+    /// Engine telemetry, `Some` iff requested.  Under load it includes the
+    /// shared bottleneck's per-router queue metrics (`queue.r<id>.*`: CE
+    /// marks, tail drops, occupancy).
+    pub telemetry: Option<EngineTelemetry>,
+}
+
+/// Builder for one QUIC measurement connection — the single entrypoint
+/// replacing the old `run_connection` × `_under_load` × `_with_telemetry`
+/// function matrix.
+///
+/// Defaults mirror the paper's methodology: no cross traffic (an otherwise
+/// idle path) and no telemetry.  Every combination is bit-identical to the
+/// legacy function it replaces; reading telemetry is side-effect free and
+/// a disabled cross-traffic scenario leaves the RNG stream untouched.
+#[derive(Debug)]
+pub struct ConnectionRun<'a> {
+    client_config: ClientConfig,
+    behavior: ServerBehavior,
+    path: &'a DuplexPath,
+    driver: DriverConfig,
+    cross: CrossTraffic,
+    telemetry: bool,
+}
+
+impl<'a> ConnectionRun<'a> {
+    /// A run of `client_config` against a `behavior` server over `path`,
+    /// with no cross traffic and no telemetry.
+    pub fn new(
+        client_config: ClientConfig,
+        behavior: ServerBehavior,
+        path: &'a DuplexPath,
+        driver: DriverConfig,
+    ) -> Self {
+        ConnectionRun {
+            client_config,
+            behavior,
+            path,
+            driver,
+            cross: CrossTraffic::none(),
+            telemetry: false,
+        }
+    }
+
+    /// Race `cross` background flows through the forward path's bottleneck
+    /// router (its last hop), which gets a shared egress queue.  The
+    /// measured connection's packets then compete with the background load,
+    /// and AQM CE marking emerges from the combined queue occupancy — the
+    /// load-dependent regime of the paper's §6.2/§6.3 findings.
+    /// [`CrossTraffic::none`] (the default) is the single-flow methodology,
+    /// bit for bit.
+    pub fn cross_traffic(mut self, cross: CrossTraffic) -> Self {
+        self.cross = cross;
+        self
+    }
+
+    /// Whether to capture the engine's telemetry (event counts, queue
+    /// metrics, the virtual-time wake trace).  Purely observational: the
+    /// connection outcome is bit-identical either way.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Drive the connection to completion.
+    pub fn execute<R: Rng + ?Sized>(self, rng: &mut R) -> RunOutcome {
+        let ConnectionRun {
+            client_config,
+            behavior,
+            path,
+            driver,
+            cross,
+            telemetry: want_telemetry,
+        } = self;
+        // No scenario — or nothing to attach it to (a hop-less path has no
+        // bottleneck): run the plain single-flow connection with an
+        // untouched RNG stream so the fallback really is bit-identical.
+        if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
+            let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
+            let mut server = ServerConnection::new(behavior, rng.gen());
+            let (connection, telemetry) =
+                run_endpoints(&mut client, &mut server, path, &driver, rng, want_telemetry);
+            return RunOutcome {
+                connection,
+                telemetry,
+            };
+        }
+        let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
+        let mut server = ServerConnection::new(behavior, rng.gen());
+        let (queues, mut loads) = cross
+            .instantiate(&path.forward, rng.gen())
+            // Unreachable: the guard above returned unless the scenario is
+            // enabled and the path has a bottleneck, and restructuring into
+            // a fallback would reorder the RNG draws the golden reports pin.
+            // lint: allow(panic-policy) guard-checked precondition
+            .expect("enabled scenario with a bottleneck");
+        let mut engine = Engine::new(queues);
+        // Background flows register first so their first packets occupy the
+        // bottleneck before the measured connection's initial burst (FIFO
+        // tie-break at the epoch).
+        for load in loads.iter_mut() {
+            engine.add_flow(load);
+        }
+        let mut flow = QuicFlow::new(&mut client, &mut server, path, &driver, rng);
+        engine.add_flow(&mut flow);
+        engine.run();
+        let telemetry = want_telemetry.then(|| engine.telemetry());
+        drop(engine);
+        RunOutcome {
+            connection: flow.into_outcome(),
+            telemetry,
+        }
+    }
+}
+
 /// Run a complete client↔server exchange over `path`.
+#[deprecated(note = "use the ConnectionRun builder: \
+                     ConnectionRun::new(config, behavior, path, driver).execute(rng)")]
 pub fn run_connection<R: Rng + ?Sized>(
     client_config: ClientConfig,
     behavior: ServerBehavior,
@@ -264,13 +397,16 @@ pub fn run_connection<R: Rng + ?Sized>(
     config: &DriverConfig,
     rng: &mut R,
 ) -> ConnectionOutcome {
-    run_connection_with_telemetry(client_config, behavior, path, config, rng).0
+    ConnectionRun::new(client_config, behavior, path, config.clone())
+        .execute(rng)
+        .connection
 }
 
-/// Like [`run_connection`], additionally returning the engine's telemetry
+/// Like `run_connection`, additionally returning the engine's telemetry
 /// (event counts, queue metrics, the virtual-time wake trace).  Reading
 /// telemetry is side-effect free: the outcome is bit-identical to
-/// [`run_connection`] with the same inputs.
+/// `run_connection` with the same inputs.
+#[deprecated(note = "use the ConnectionRun builder with .telemetry(true)")]
 pub fn run_connection_with_telemetry<R: Rng + ?Sized>(
     client_config: ClientConfig,
     behavior: ServerBehavior,
@@ -278,9 +414,10 @@ pub fn run_connection_with_telemetry<R: Rng + ?Sized>(
     config: &DriverConfig,
     rng: &mut R,
 ) -> (ConnectionOutcome, EngineTelemetry) {
-    let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
-    let mut server = ServerConnection::new(behavior, rng.gen());
-    run_endpoints_with_telemetry(&mut client, &mut server, path, config, rng)
+    let out = ConnectionRun::new(client_config, behavior, path, config.clone())
+        .telemetry(true)
+        .execute(rng);
+    (out.connection, out.telemetry.unwrap_or_default())
 }
 
 /// Run a prepared client and server to completion (exposed for tests that
@@ -293,34 +430,32 @@ pub fn run_with_endpoints<R: Rng + ?Sized>(
     config: &DriverConfig,
     rng: &mut R,
 ) -> ConnectionOutcome {
-    run_endpoints_with_telemetry(client, server, path, config, rng).0
+    run_endpoints(client, server, path, config, rng, false).0
 }
 
-fn run_endpoints_with_telemetry<R: Rng + ?Sized>(
+fn run_endpoints<R: Rng + ?Sized>(
     client: &mut ClientConnection,
     server: &mut ServerConnection,
     path: &DuplexPath,
     config: &DriverConfig,
     rng: &mut R,
-) -> (ConnectionOutcome, EngineTelemetry) {
+    want_telemetry: bool,
+) -> (ConnectionOutcome, Option<EngineTelemetry>) {
     let mut flow = QuicFlow::new(client, server, path, config, rng);
     let mut engine = Engine::new(SharedQueues::new());
     engine.add_flow(&mut flow);
     engine.run();
     // Telemetry must be read before the engine goes away — it borrows the
     // flow list; the outcome needs the flow back, hence the drop.
-    let telemetry = engine.telemetry();
+    let telemetry = want_telemetry.then(|| engine.telemetry());
     drop(engine);
     (flow.into_outcome(), telemetry)
 }
 
 /// Run a client↔server exchange while `cross` background flows push packets
-/// through the forward path's bottleneck router (its last hop), which gets a
-/// shared egress queue.  The measured connection's packets then compete with
-/// the background load, and AQM CE marking emerges from the combined queue
-/// occupancy — the load-dependent regime of the paper's §6.2/§6.3 findings.
-///
-/// With a disabled scenario this falls back to [`run_connection`] exactly.
+/// through the forward path's bottleneck router.  With a disabled scenario
+/// this falls back to the plain single-flow run exactly.
+#[deprecated(note = "use the ConnectionRun builder with .cross_traffic(cross)")]
 pub fn run_connection_under_load<R: Rng + ?Sized>(
     client_config: ClientConfig,
     behavior: ServerBehavior,
@@ -329,12 +464,17 @@ pub fn run_connection_under_load<R: Rng + ?Sized>(
     cross: &CrossTraffic,
     rng: &mut R,
 ) -> ConnectionOutcome {
-    run_connection_under_load_with_telemetry(client_config, behavior, path, config, cross, rng).0
+    ConnectionRun::new(client_config, behavior, path, config.clone())
+        .cross_traffic(*cross)
+        .execute(rng)
+        .connection
 }
 
-/// Like [`run_connection_under_load`], additionally returning the engine's
+/// Like `run_connection_under_load`, additionally returning the engine's
 /// telemetry — under load this includes the shared bottleneck's per-router
 /// queue metrics (`queue.r<id>.*`: CE marks, tail drops, occupancy).
+#[deprecated(note = "use the ConnectionRun builder with \
+                     .cross_traffic(cross).telemetry(true)")]
 pub fn run_connection_under_load_with_telemetry<R: Rng + ?Sized>(
     client_config: ClientConfig,
     behavior: ServerBehavior,
@@ -343,34 +483,11 @@ pub fn run_connection_under_load_with_telemetry<R: Rng + ?Sized>(
     cross: &CrossTraffic,
     rng: &mut R,
 ) -> (ConnectionOutcome, EngineTelemetry) {
-    // No scenario — or nothing to attach it to (a hop-less path has no
-    // bottleneck): run the plain single-flow connection with an untouched
-    // RNG stream so the fallback really is bit-identical.
-    if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
-        return run_connection_with_telemetry(client_config, behavior, path, config, rng);
-    }
-    let mut client = ClientConnection::new(client_config, SimInstant::EPOCH, rng.gen());
-    let mut server = ServerConnection::new(behavior, rng.gen());
-    let (queues, mut loads) = cross
-        .instantiate(&path.forward, rng.gen())
-        // Unreachable: the guard above returned unless the scenario is
-        // enabled and the path has a bottleneck, and restructuring into a
-        // fallback would reorder the RNG draws the golden reports pin.
-        // lint: allow(panic-policy) guard-checked precondition
-        .expect("enabled scenario with a bottleneck");
-    let mut engine = Engine::new(queues);
-    // Background flows register first so their first packets occupy the
-    // bottleneck before the measured connection's initial burst (FIFO
-    // tie-break at the epoch).
-    for load in loads.iter_mut() {
-        engine.add_flow(load);
-    }
-    let mut flow = QuicFlow::new(&mut client, &mut server, path, config, rng);
-    engine.add_flow(&mut flow);
-    engine.run();
-    let telemetry = engine.telemetry();
-    drop(engine);
-    (flow.into_outcome(), telemetry)
+    let out = ConnectionRun::new(client_config, behavior, path, config.clone())
+        .cross_traffic(*cross)
+        .telemetry(true)
+        .execute(rng);
+    (out.connection, out.telemetry.unwrap_or_default())
 }
 
 fn encapsulate(
@@ -413,6 +530,9 @@ fn decapsulate(datagram: &IpDatagram) -> Option<Vec<u8>> {
 }
 
 #[cfg(test)]
+// The legacy wrappers are exercised deliberately: these tests are the proof
+// that each deprecated function stays equivalent to its builder form.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::behavior::{EcnMirroringBehavior, ServerBehavior};
@@ -768,6 +888,48 @@ mod tests {
             .filter_map(|(name, _)| loaded.metrics.counter(name))
             .sum();
         assert!(marked > 0, "congested bottleneck must report CE marks");
+    }
+
+    #[test]
+    fn builder_is_equivalent_to_every_legacy_wrapper() {
+        let (client_addr, server_addr) = addrs();
+        let path = clean_path();
+        let driver = DriverConfig::new(client_addr, server_addr);
+        let config = || ClientConfig::paper_default("www.example.org");
+
+        // Plain run, no telemetry requested.
+        let mut rng = StdRng::seed_from_u64(91);
+        let legacy = run_connection(
+            config(),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(91);
+        let built = ConnectionRun::new(config(), ServerBehavior::accurate(), &path, driver.clone())
+            .execute(&mut rng);
+        assert_eq!(built.connection, legacy);
+        assert!(built.telemetry.is_none(), "telemetry is strictly opt-in");
+
+        // Under load, with telemetry: outcome and telemetry both match.
+        let cross = CrossTraffic::congested();
+        let mut rng = StdRng::seed_from_u64(91);
+        let (legacy, legacy_tel) = run_connection_under_load_with_telemetry(
+            config(),
+            ServerBehavior::accurate(),
+            &path,
+            &driver,
+            &cross,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(91);
+        let built = ConnectionRun::new(config(), ServerBehavior::accurate(), &path, driver.clone())
+            .cross_traffic(cross)
+            .telemetry(true)
+            .execute(&mut rng);
+        assert_eq!(built.connection, legacy);
+        assert_eq!(built.telemetry, Some(legacy_tel));
     }
 
     #[test]

@@ -8,14 +8,17 @@
 //! path-level ECN impairments act on TCP exactly as they do on QUIC.
 //!
 //! The exchange is modelled as a sans-IO [`TcpFlow`] state machine for the
-//! discrete-event engine: [`run_tcp_connection`] drives it through a
-//! one-flow engine with no shared queues (bit-identical to the historical
-//! straight-line script), while [`run_tcp_connection_under_load`] runs it
-//! next to background load through a shared bottleneck queue, where CE
-//! marks — and therefore ECE echoes — emerge from combined occupancy.
+//! discrete-event engine, driven through the [`TcpConnectionRun`] builder —
+//! the mirror of `qem_quic`'s `ConnectionRun`.  Without cross traffic it is
+//! a one-flow engine with no shared queues (bit-identical to the historical
+//! straight-line script); with [`TcpConnectionRun::cross_traffic`] the flow
+//! runs next to background load through a shared bottleneck queue, where CE
+//! marks — and therefore ECE echoes — emerge from combined occupancy.  The
+//! legacy `run_tcp_connection*` functions survive as thin deprecated
+//! wrappers.
 
 use crate::behavior::TcpServerBehavior;
-use qem_netsim::engine::{CrossTraffic, Engine, Flow, FlowStatus, SharedQueues};
+use qem_netsim::engine::{CrossTraffic, Engine, EngineTelemetry, Flow, FlowStatus, SharedQueues};
 use qem_netsim::{DuplexPath, SimDuration, SimInstant, TransitOutcome};
 use qem_packet::ecn::{EcnCodepoint, EcnCounts};
 use qem_packet::ip::{IpDatagram, IpHeader, IpProtocol, Ipv4Header, Ipv6Header};
@@ -434,11 +437,131 @@ impl<R: Rng + ?Sized> Flow for TcpFlow<'_, R> {
     }
 }
 
+/// A complete TCP run: the scanner's [`TcpReport`] plus, when requested via
+/// [`TcpConnectionRun::telemetry`], the engine's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpRunOutcome {
+    /// The scanner's observations.
+    pub report: TcpReport,
+    /// Engine telemetry, `Some` iff requested.
+    pub telemetry: Option<EngineTelemetry>,
+}
+
+/// Builder for one TCP measurement connection — the mirror of `qem_quic`'s
+/// `ConnectionRun`, replacing the `run_tcp_connection` /
+/// `run_tcp_connection_under_load` pair.
+///
+/// Defaults mirror the paper's methodology: no cross traffic, no telemetry.
+/// Each combination is bit-identical to the legacy function it replaces,
+/// and — new with the builder — TCP runs can now capture engine telemetry
+/// just like QUIC runs.
+#[derive(Debug)]
+pub struct TcpConnectionRun<'a> {
+    config: TcpClientConfig,
+    behavior: TcpServerBehavior,
+    client_addr: IpAddr,
+    server_addr: IpAddr,
+    path: &'a DuplexPath,
+    cross: CrossTraffic,
+    telemetry: bool,
+}
+
+impl<'a> TcpConnectionRun<'a> {
+    /// A run of `config` against a `behavior` server between the given
+    /// addresses over `path`, with no cross traffic and no telemetry.
+    pub fn new(
+        config: TcpClientConfig,
+        behavior: TcpServerBehavior,
+        client_addr: IpAddr,
+        server_addr: IpAddr,
+        path: &'a DuplexPath,
+    ) -> Self {
+        TcpConnectionRun {
+            config,
+            behavior,
+            client_addr,
+            server_addr,
+            path,
+            cross: CrossTraffic::none(),
+            telemetry: false,
+        }
+    }
+
+    /// Race `cross` background flows through the forward path's bottleneck
+    /// router (its last hop).  CE marks on the probe segments — and
+    /// therefore the server's ECE echo — then depend on the combined queue
+    /// occupancy rather than the probe codepoint alone.
+    /// [`CrossTraffic::none`] (the default) is the single-flow exchange,
+    /// bit for bit.
+    pub fn cross_traffic(mut self, cross: CrossTraffic) -> Self {
+        self.cross = cross;
+        self
+    }
+
+    /// Whether to capture the engine's telemetry.  Purely observational:
+    /// the report is bit-identical either way.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Drive the exchange to completion.
+    pub fn execute<R: Rng + ?Sized>(self, rng: &mut R) -> TcpRunOutcome {
+        let TcpConnectionRun {
+            config,
+            behavior,
+            client_addr,
+            server_addr,
+            path,
+            cross,
+            telemetry: want_telemetry,
+        } = self;
+        // No scenario — or nothing to attach it to (a hop-less path has no
+        // bottleneck): run the plain single-flow exchange with an untouched
+        // RNG stream so the fallback really is bit-identical.
+        if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
+            let mut flow = TcpFlow::new(config, behavior, client_addr, server_addr, path, rng);
+            let mut engine = Engine::new(SharedQueues::new());
+            engine.add_flow(&mut flow);
+            engine.run();
+            let telemetry = want_telemetry.then(|| engine.telemetry());
+            drop(engine);
+            return TcpRunOutcome {
+                report: flow.into_report(),
+                telemetry,
+            };
+        }
+        let (queues, mut loads) = cross
+            .instantiate(&path.forward, rng.gen())
+            // Unreachable: the guard above returned unless the scenario is
+            // enabled and the path has a bottleneck, and restructuring into
+            // a fallback would reorder the RNG draws the golden reports pin.
+            // lint: allow(panic-policy) guard-checked precondition
+            .expect("enabled scenario with a bottleneck");
+        let mut engine = Engine::new(queues);
+        for load in loads.iter_mut() {
+            engine.add_flow(load);
+        }
+        // Pace the probes across the background burst so each segment
+        // samples the queue, rather than the whole exchange landing on one
+        // instant.
+        let mut flow = TcpFlow::new(config, behavior, client_addr, server_addr, path, rng)
+            .with_pacing(SimDuration::from_millis(1));
+        engine.add_flow(&mut flow);
+        engine.run();
+        let telemetry = want_telemetry.then(|| engine.telemetry());
+        drop(engine);
+        TcpRunOutcome {
+            report: flow.into_report(),
+            telemetry,
+        }
+    }
+}
+
 /// Run one TCP connection between a client at `client_addr` and a server at
 /// `server_addr` over `path`, returning the scanner's observations.
-///
-/// A thin wrapper over a one-flow engine with no shared queues: results are
-/// bit-identical to the historical straight-line exchange.
+#[deprecated(note = "use the TcpConnectionRun builder: \
+                     TcpConnectionRun::new(..).execute(rng).report")]
 pub fn run_tcp_connection<R: Rng + ?Sized>(
     config: TcpClientConfig,
     behavior: TcpServerBehavior,
@@ -447,21 +570,14 @@ pub fn run_tcp_connection<R: Rng + ?Sized>(
     path: &DuplexPath,
     rng: &mut R,
 ) -> TcpReport {
-    let mut flow = TcpFlow::new(config, behavior, client_addr, server_addr, path, rng);
-    let mut engine = Engine::new(SharedQueues::new());
-    engine.add_flow(&mut flow);
-    engine.run();
-    drop(engine);
-    flow.into_report()
+    TcpConnectionRun::new(config, behavior, client_addr, server_addr, path)
+        .execute(rng)
+        .report
 }
 
 /// Run one TCP connection while `cross` background flows push packets
-/// through the forward path's bottleneck router (its last hop).  CE marks on
-/// the probe segments — and therefore the server's ECE echo — then depend on
-/// the combined queue occupancy rather than the probe codepoint alone.
-///
-/// With a disabled scenario this falls back to [`run_tcp_connection`]
-/// exactly.
+/// through the forward path's bottleneck router (its last hop).
+#[deprecated(note = "use the TcpConnectionRun builder with .cross_traffic(cross)")]
 pub fn run_tcp_connection_under_load<R: Rng + ?Sized>(
     config: TcpClientConfig,
     behavior: TcpServerBehavior,
@@ -471,34 +587,16 @@ pub fn run_tcp_connection_under_load<R: Rng + ?Sized>(
     cross: &CrossTraffic,
     rng: &mut R,
 ) -> TcpReport {
-    // No scenario — or nothing to attach it to (a hop-less path has no
-    // bottleneck): run the plain single-flow exchange with an untouched RNG
-    // stream so the fallback really is bit-identical.
-    if !cross.is_enabled() || CrossTraffic::bottleneck_of(&path.forward).is_none() {
-        return run_tcp_connection(config, behavior, client_addr, server_addr, path, rng);
-    }
-    let (queues, mut loads) = cross
-        .instantiate(&path.forward, rng.gen())
-        // Unreachable: the guard above returned unless the scenario is
-        // enabled and the path has a bottleneck, and restructuring into a
-        // fallback would reorder the RNG draws the golden reports pin.
-        // lint: allow(panic-policy) guard-checked precondition
-        .expect("enabled scenario with a bottleneck");
-    let mut engine = Engine::new(queues);
-    for load in loads.iter_mut() {
-        engine.add_flow(load);
-    }
-    // Pace the probes across the background burst so each segment samples
-    // the queue, rather than the whole exchange landing on one instant.
-    let mut flow = TcpFlow::new(config, behavior, client_addr, server_addr, path, rng)
-        .with_pacing(SimDuration::from_millis(1));
-    engine.add_flow(&mut flow);
-    engine.run();
-    drop(engine);
-    flow.into_report()
+    TcpConnectionRun::new(config, behavior, client_addr, server_addr, path)
+        .cross_traffic(*cross)
+        .execute(rng)
+        .report
 }
 
 #[cfg(test)]
+// The legacy wrappers are exercised deliberately: these tests are the proof
+// that each deprecated function stays equivalent to its builder form.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use qem_netsim::{build_transit_path, Asn, TransitProfile};
@@ -710,6 +808,63 @@ mod tests {
             &mut rng,
         );
         assert_eq!(off, solo);
+    }
+
+    #[test]
+    fn builder_is_equivalent_to_every_legacy_wrapper() {
+        use qem_netsim::CrossTraffic;
+        let (c, s) = addrs();
+        let path = clean();
+
+        // Plain run: builder == run_tcp_connection, with no telemetry
+        // captured unless asked for.
+        let mut rng = StdRng::seed_from_u64(91);
+        let legacy = run_tcp_connection(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(91);
+        let built = TcpConnectionRun::new(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+        )
+        .execute(&mut rng);
+        assert_eq!(built.report, legacy);
+        assert!(built.telemetry.is_none());
+
+        // Loaded run: builder with cross traffic == the under-load wrapper,
+        // and telemetry capture does not perturb the report.
+        let cross = CrossTraffic::congested();
+        let mut rng = StdRng::seed_from_u64(91);
+        let legacy = run_tcp_connection_under_load(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+            &cross,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(91);
+        let built = TcpConnectionRun::new(
+            TcpClientConfig::ect0(),
+            TcpServerBehavior::full_ecn(),
+            c,
+            s,
+            &path,
+        )
+        .cross_traffic(cross)
+        .telemetry(true)
+        .execute(&mut rng);
+        assert_eq!(built.report, legacy);
+        assert!(built.telemetry.is_some());
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod behavior;
 pub mod connection;
 
 pub use behavior::TcpServerBehavior;
-pub use connection::{
-    run_tcp_connection, run_tcp_connection_under_load, TcpClientConfig, TcpFlow, TcpReport,
-};
+#[allow(deprecated)]
+pub use connection::{run_tcp_connection, run_tcp_connection_under_load};
+pub use connection::{TcpClientConfig, TcpConnectionRun, TcpFlow, TcpReport, TcpRunOutcome};

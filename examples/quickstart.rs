@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use qem_netsim::{build_transit_path, Asn, DuplexPath, TransitProfile};
-use qem_quic::{run_connection, ClientConfig, DriverConfig, ServerBehavior};
+use qem_quic::{ClientConfig, ConnectionRun, DriverConfig, ServerBehavior};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::IpAddr;
@@ -19,13 +19,14 @@ fn probe(label: &str, profile: TransitProfile, behavior: ServerBehavior) {
         false,
     ));
     let mut rng = StdRng::seed_from_u64(1);
-    let outcome = run_connection(
+    let outcome = ConnectionRun::new(
         ClientConfig::paper_default("www.example.org"),
         behavior,
         &path,
-        &DriverConfig::new(client, server),
-        &mut rng,
-    );
+        DriverConfig::new(client, server),
+    )
+    .execute(&mut rng)
+    .connection;
     let report = outcome.report;
     println!("--- {label} ---");
     println!("  connected:        {}", report.connected);

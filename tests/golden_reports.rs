@@ -23,7 +23,7 @@ use qem_core::reports::{
 };
 use qem_core::{Campaign, CampaignOptions};
 use qem_netsim::{build_transit_path, Asn, DuplexPath, TransitProfile};
-use qem_quic::{run_connection_with_telemetry, ClientConfig, DriverConfig, ServerBehavior};
+use qem_quic::{ClientConfig, ConnectionRun, DriverConfig, ServerBehavior};
 use qem_web::{SnapshotDate, Universe, UniverseConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -97,14 +97,19 @@ fn render_engine_metrics() -> String {
     let client_addr = IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10));
     let server_addr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 80));
     let mut rng = StdRng::seed_from_u64(1);
-    let (outcome, telemetry) = run_connection_with_telemetry(
+    let run = ConnectionRun::new(
         ClientConfig::paper_default("www.example.org"),
         ServerBehavior::accurate(),
         &path,
-        &DriverConfig::new(client_addr, server_addr),
-        &mut rng,
+        DriverConfig::new(client_addr, server_addr),
+    )
+    .telemetry(true)
+    .execute(&mut rng);
+    let telemetry = run.telemetry.expect("telemetry was requested");
+    assert!(
+        run.connection.report.connected,
+        "the golden scenario must connect"
     );
-    assert!(outcome.report.connected, "the golden scenario must connect");
 
     let mut out = String::new();
     writeln!(out, "{}", telemetry.metrics.to_json()).unwrap();

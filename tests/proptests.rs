@@ -7,7 +7,7 @@ use qem_netsim::{
 };
 use qem_packet::ecn::EcnCodepoint;
 use qem_quic::ecn::EcnValidationState;
-use qem_quic::{run_connection, ClientConfig, DriverConfig, EcnMirroringBehavior, ServerBehavior};
+use qem_quic::{ClientConfig, ConnectionRun, DriverConfig, EcnMirroringBehavior, ServerBehavior};
 use qem_tracebox::{analyze_trace, trace_path, TraceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,13 +61,14 @@ proptest! {
         );
         let behavior = ServerBehavior::accurate().with_mirroring(mirroring);
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = run_connection(
+        let outcome = ConnectionRun::new(
             ClientConfig::paper_default("prop.example"),
             behavior,
             &path,
-            &DriverConfig::new(client_addr, server_addr),
-            &mut rng,
-        );
+            DriverConfig::new(client_addr, server_addr),
+        )
+        .execute(&mut rng)
+        .connection;
         let clean = matches!(transit, TransitProfile::Clean);
         let honest = matches!(mirroring, EcnMirroringBehavior::Accurate);
         if outcome.report.ecn_state == EcnValidationState::Capable {
@@ -132,13 +133,14 @@ proptest! {
         let expected = forward.expected_arrival_ecn(EcnCodepoint::Ect0);
         let path = DuplexPath::new(forward, Path::empty());
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = run_connection(
+        let outcome = ConnectionRun::new(
             ClientConfig::paper_default("compose.example"),
             ServerBehavior::accurate(),
             &path,
-            &DriverConfig::new(client_addr, server_addr),
-            &mut rng,
-        );
+            DriverConfig::new(client_addr, server_addr),
+        )
+        .execute(&mut rng)
+        .connection;
         let ground_truth = outcome.forward_arrival_ecn;
         match expected {
             EcnCodepoint::Ect0 => prop_assert!(ground_truth.ect0 > 0 && ground_truth.ect1 == 0),
