@@ -1,0 +1,144 @@
+//! Throughput of the workload layer: how fast the engine pushes application
+//! traffic (bulk objects, RTC frames) through a congested shared bottleneck.
+//!
+//! Each measurement runs a complete scenario — flows, queues, AQM, collectors
+//! — so the numbers are end-to-end: virtual *application* work per wall-clock
+//! second, not raw scheduler churn (that's `engine_throughput`).  Alongside
+//! the Criterion timings, each group prints the derived domain rates (RTC
+//! frames/sec, bulk MB/sec simulated per wall-second) to stderr where they
+//! cannot disturb JSON bench output.
+//!
+//! Run with: `cargo bench -p qem-bench --bench workload_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qem_workload::{AppSpec, EcnVariant, Scenario, Transport};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A bulk-only scenario: six transfers over the shared bottleneck.
+fn bulk_scenario() -> Scenario {
+    let mut scenario = Scenario::netbench_default(7);
+    scenario.name = "bench-bulk".into();
+    scenario.apps = vec![
+        AppSpec::BulkTransfer {
+            transport: Transport::Quic,
+            object_size: 256 * 1024,
+            connections: 4,
+        },
+        AppSpec::BulkTransfer {
+            transport: Transport::Tcp,
+            object_size: 256 * 1024,
+            connections: 2,
+        },
+    ];
+    scenario
+}
+
+/// An RTC-only scenario: two seconds of 30 fps streaming plus load.
+fn rtc_scenario() -> Scenario {
+    let mut scenario = Scenario::netbench_default(7);
+    scenario.name = "bench-rtc".into();
+    scenario.apps = vec![
+        AppSpec::RtcStream {
+            frame_interval_us: 33_000,
+            bitrate_kbps: 3_000,
+            duration_us: 2_000_000,
+        },
+        AppSpec::Load {
+            flows: 8,
+            packets_per_flow: 80,
+            interval_us: 4_000,
+        },
+    ];
+    scenario
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let scenario = bulk_scenario();
+    let object_bytes: u64 = scenario
+        .apps
+        .iter()
+        .map(|app| match *app {
+            AppSpec::BulkTransfer {
+                object_size,
+                connections,
+                ..
+            } => object_size * u64::from(connections),
+            _ => 0,
+        })
+        .sum();
+
+    let mut group = c.benchmark_group("workload_bulk");
+    for variant in EcnVariant::ALL {
+        group.bench_function(&format!("run/{}", variant.label()), |b| {
+            b.iter(|| black_box(scenario.run(black_box(variant))))
+        });
+    }
+    group.finish();
+
+    // Domain rate: simulated bulk megabytes delivered per wall-clock second.
+    let started = Instant::now();
+    let mut runs = 0u64;
+    while runs < 5 {
+        black_box(scenario.run(EcnVariant::EcnOn));
+        runs += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "workload_bulk: {:.1} MB/sec simulated bulk transfer ({} runs in {:.2}s)",
+        (object_bytes * runs) as f64 / 1e6 / elapsed,
+        runs,
+        elapsed
+    );
+}
+
+fn bench_rtc(c: &mut Criterion) {
+    let scenario = rtc_scenario();
+    let frames_per_run: u64 = scenario
+        .apps
+        .iter()
+        .map(|app| match *app {
+            AppSpec::RtcStream {
+                frame_interval_us,
+                duration_us,
+                ..
+            } => duration_us / frame_interval_us.max(1),
+            _ => 0,
+        })
+        .sum();
+
+    let mut group = c.benchmark_group("workload_rtc");
+    for variant in EcnVariant::ALL {
+        group.bench_function(&format!("run/{}", variant.label()), |b| {
+            b.iter(|| black_box(scenario.run(black_box(variant))))
+        });
+    }
+    group.finish();
+
+    // Domain rate: simulated RTC frames processed per wall-clock second.
+    let started = Instant::now();
+    let mut runs = 0u64;
+    while runs < 5 {
+        black_box(scenario.run(EcnVariant::EcnOn));
+        runs += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "workload_rtc: {:.0} frames/sec simulated ({} runs in {:.2}s)",
+        (frames_per_run * runs) as f64 / elapsed,
+        runs,
+        elapsed
+    );
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let scenario = Scenario::netbench_default(7);
+    let mut group = c.benchmark_group("workload_mixed");
+    group.bench_function("netbench_default/all_variants", |b| {
+        b.iter(|| black_box(scenario.run_all()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk, bench_rtc, bench_mixed);
+criterion_main!(benches);

@@ -128,6 +128,54 @@ fn scheduler_files_are_panic_policy_zones() {
 }
 
 #[test]
+fn deprecated_runner_fixture_fires_on_every_wrapper() {
+    let lines = fired_lines(
+        "crates/workload/src/fixture.rs",
+        "violations/deprecated_runners.rs",
+        "no-deprecated-runners",
+    );
+    assert_eq!(lines, BTreeSet::from([4, 5, 6, 7, 11, 12]));
+}
+
+#[test]
+fn deprecated_runner_definition_sites_are_exempt() {
+    // The wrappers' own definitions and re-exports are the sanctioned
+    // mentions; everywhere else the rule fires (previous test).
+    for path in [
+        "crates/quic/src/driver.rs",
+        "crates/quic/src/lib.rs",
+        "crates/tcp/src/connection.rs",
+        "crates/tcp/src/lib.rs",
+    ] {
+        let findings = engine().check_file(path, &fixture("violations/deprecated_runners.rs"));
+        assert!(findings.is_empty(), "{path} is allow-listed: {findings:?}");
+    }
+}
+
+#[test]
+fn workload_crate_is_a_determinism_and_sans_io_zone() {
+    // The workload sources joined every purity zone: ambient clocks,
+    // entropy, unordered collections and I/O must all fire there.
+    let path = "crates/workload/src/fixture.rs";
+    assert_eq!(
+        fired_lines(path, "violations/wall_clock.rs", "no-wall-clock"),
+        BTreeSet::from([3, 4, 7, 8, 9])
+    );
+    assert_eq!(
+        fired_lines(path, "violations/entropy.rs", "no-ambient-entropy"),
+        BTreeSet::from([4, 9, 10])
+    );
+    assert_eq!(
+        fired_lines(path, "violations/unordered.rs", "no-unordered-collections"),
+        BTreeSet::from([3, 4, 7, 8])
+    );
+    assert_eq!(
+        fired_lines(path, "violations/sans_io.rs", "sans-io"),
+        BTreeSet::from([3, 6, 7, 8])
+    );
+}
+
+#[test]
 fn unsafe_fixture_fires_only_without_a_safety_comment() {
     let lines = fired_lines(
         "crates/packet/src/fixture.rs",

@@ -1,0 +1,13 @@
+//! Fixture: true positives for `no-deprecated-runners`.
+
+pub fn legacy_quic(path: &DuplexPath, rng: &mut StdRng) {
+    let _ = run_connection(ClientConfig::paper_default("x"), ServerBehavior::accurate(), path, rng);
+    let _ = run_connection_with_telemetry(config, behavior, path, rng);
+    let _ = run_connection_under_load(config, behavior, path, &cross, rng);
+    let _ = run_connection_under_load_with_telemetry(config, behavior, path, &cross, rng);
+}
+
+pub fn legacy_tcp(path: &DuplexPath, rng: &mut StdRng) {
+    let _ = run_tcp_connection(TcpClientConfig::ect0(), TcpServerBehavior::full_ecn(), c, s, path, rng);
+    let _ = run_tcp_connection_under_load(config, behavior, c, s, path, &cross, rng);
+}

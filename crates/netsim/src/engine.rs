@@ -845,17 +845,14 @@ impl CrossTraffic {
         let mut queues = SharedQueues::new();
         queues.register(bottleneck, self.queue_config());
         let load_path = Path::new(vec![hop]);
-        let flows = (0..self.flows)
-            .map(|i| {
-                LoadFlow::new(
-                    load_path.clone(),
-                    self.packets_per_flow as u64,
-                    self.interval,
-                    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                        .wrapping_add(u64::from(i)),
-                )
-            })
-            .collect();
+        let flows = LoadFlow::fleet(
+            &load_path,
+            self.flows,
+            self.packets_per_flow as u64,
+            self.interval,
+            EcnCodepoint::Ect0,
+            seed,
+        );
         Some((queues, flows))
     }
 }
@@ -870,22 +867,57 @@ pub struct LoadFlow {
     path: Path,
     packets: u64,
     interval: SimDuration,
+    ecn: EcnCodepoint,
     rng: StdRng,
     sent: u64,
     delivered: u64,
 }
 
 impl LoadFlow {
-    /// A load flow sending `packets` datagrams, one every `interval`.
+    /// A load flow sending `packets` ECT(0) datagrams, one every `interval`.
     pub fn new(path: Path, packets: u64, interval: SimDuration, seed: u64) -> Self {
         LoadFlow {
             path,
             packets,
             interval,
+            ecn: EcnCodepoint::Ect0,
             rng: StdRng::seed_from_u64(seed),
             sent: 0,
             delivered: 0,
         }
+    }
+
+    /// Override the codepoint the generated datagrams carry (default ECT(0)).
+    /// Workload scenarios use this so background load follows the same ECN
+    /// variant as the measured applications.
+    pub fn with_ecn(mut self, ecn: EcnCodepoint) -> Self {
+        self.ecn = ecn;
+        self
+    }
+
+    /// The single code path deriving a fleet of load flows from one seed —
+    /// used both by [`CrossTraffic::instantiate`] and by workload scenarios
+    /// expressing background load as a regular app, so the two never drift.
+    pub fn fleet(
+        path: &Path,
+        flows: u32,
+        packets_per_flow: u64,
+        interval: SimDuration,
+        ecn: EcnCodepoint,
+        seed: u64,
+    ) -> Vec<LoadFlow> {
+        (0..flows)
+            .map(|i| {
+                LoadFlow::new(
+                    path.clone(),
+                    packets_per_flow,
+                    interval,
+                    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(u64::from(i)),
+                )
+                .with_ecn(ecn)
+            })
+            .collect()
     }
 
     /// Packets sent so far.
@@ -911,7 +943,7 @@ impl LoadFlow {
                     IpProtocol::Udp,
                     64,
                 )
-                .with_ecn(EcnCodepoint::Ect0),
+                .with_ecn(self.ecn),
             ),
             _ => IpHeader::V4(
                 Ipv4Header::new(
@@ -920,7 +952,7 @@ impl LoadFlow {
                     IpProtocol::Udp,
                     64,
                 )
-                .with_ecn(EcnCodepoint::Ect0),
+                .with_ecn(self.ecn),
             ),
         };
         IpDatagram::new(header, vec![0u8; 64])
@@ -1075,6 +1107,33 @@ mod tests {
             .stats(RouterId(1))
             .expect("registered queue");
         assert_eq!(stats.marked, 0, "a lone slow flow must not be marked");
+    }
+
+    #[test]
+    fn not_ect_load_fleet_is_marked_never_and_tail_dropped_only() {
+        // `LoadFlow::fleet` with a NotEct override models ECN-off background
+        // load: RFC 3168 §6.1.1 forbids marking it, so the only congestion
+        // signal left is tail drop at capacity.
+        let hop = crate::path::Hop::new(Router::transparent(1, Asn(680)));
+        let path = Path::new(vec![hop]);
+        let mut queues = SharedQueues::new();
+        queues.register(RouterId(1), QueueConfig::bottleneck(4, 1, 2));
+        let mut flows = LoadFlow::fleet(
+            &path,
+            8,
+            16,
+            SimDuration::from_micros(100),
+            EcnCodepoint::NotEct,
+            11,
+        );
+        let mut engine = Engine::new(queues);
+        for flow in flows.iter_mut() {
+            engine.add_flow(flow);
+        }
+        engine.run();
+        let stats = engine.shared().stats(RouterId(1)).expect("registered");
+        assert_eq!(stats.marked, 0, "not-ECT load must never be CE-marked");
+        assert!(stats.dropped > 0, "overload must surface as tail drops");
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum EcnPolicy {
     /// This is the "legacy router rewriting the complete ToS field" hypothesis
     /// from §6.1.
     BleachTos,
+    /// Rewrite `CE` back to `ECT(0)` but forward every other codepoint
+    /// untouched: the congestion signal set by an upstream AQM is destroyed
+    /// in transit while the path still *looks* ECN-capable to both endpoints.
+    /// This is the CE-blackholing failure mode the broken-path workload
+    /// variants exercise — marks are spent at the bottleneck, but the
+    /// feedback loop never closes.
+    EraseCe,
 }
 
 impl EcnPolicy {
@@ -62,6 +69,13 @@ impl EcnPolicy {
                     EcnCodepoint::Ce
                 }
             }
+            EcnPolicy::EraseCe => {
+                if ecn == EcnCodepoint::Ce {
+                    EcnCodepoint::Ect0
+                } else {
+                    ecn
+                }
+            }
         }
     }
 
@@ -81,6 +95,7 @@ impl fmt::Display for EcnPolicy {
             EcnPolicy::RemarkEctToNotEct => "remark-ect-to-not-ect",
             EcnPolicy::MarkAllCe => "mark-all-ce",
             EcnPolicy::BleachTos => "bleach-tos",
+            EcnPolicy::EraseCe => "erase-ce",
         };
         f.write_str(s)
     }
@@ -180,6 +195,18 @@ mod tests {
         let after_first = EcnPolicy::RemarkEct0ToEct1.apply(EcnCodepoint::Ect0);
         let after_second = EcnPolicy::RemarkEctToNotEct.apply(after_first);
         assert_eq!(after_second, EcnCodepoint::NotEct);
+    }
+
+    #[test]
+    fn erase_ce_blackholes_only_the_congestion_signal() {
+        assert_eq!(
+            EcnPolicy::EraseCe.apply(EcnCodepoint::Ce),
+            EcnCodepoint::Ect0
+        );
+        for cp in [EcnCodepoint::NotEct, EcnCodepoint::Ect0, EcnCodepoint::Ect1] {
+            assert_eq!(EcnPolicy::EraseCe.apply(cp), cp);
+        }
+        assert!(EcnPolicy::EraseCe.is_impairing());
     }
 
     #[test]

@@ -367,6 +367,29 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Lower bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 ≤ q ≤ 1.0`; nearest-rank over the bucketed distribution,
+    /// 0 when empty).
+    ///
+    /// Workload reports use this for frame-lateness percentiles; the
+    /// log-linear buckets bound the answer's relative error at 25 % —
+    /// see [`bucket_index`] — which is plenty for a latency table.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map(|&(bound, _)| bound).unwrap_or(0)
+    }
 }
 
 /// A deterministic, order-stable snapshot of many metrics.
@@ -626,6 +649,24 @@ mod tests {
         assert_eq!(a.histogram("d").unwrap().count, 1);
         let p = a.prefixed("s.");
         assert_eq!(p.counter("s.x"), Some(3));
+    }
+
+    #[test]
+    fn quantile_walks_the_bucketed_distribution() {
+        let h = Histogram::standalone();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), bucket_lower_bound(bucket_index(1)));
+        // Bucket bounds are exact only up to the log-linear resolution:
+        // the answer must bracket the true percentile within one bucket.
+        let p50 = snap.quantile(0.5);
+        assert!((32..=64).contains(&p50), "p50 bucket bound was {p50}");
+        let p99 = snap.quantile(0.99);
+        assert!(p99 >= 80, "p99 bucket bound was {p99}");
+        assert!(snap.quantile(1.0) >= p99);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
     }
 
     #[test]

@@ -562,13 +562,14 @@ mod tests {
     fn run(behavior: ServerBehavior, path: &DuplexPath, seed: u64) -> ConnectionOutcome {
         let (client_addr, server_addr) = addrs();
         let mut rng = StdRng::seed_from_u64(seed);
-        run_connection(
+        ConnectionRun::new(
             ClientConfig::paper_default("www.example.org"),
             behavior,
             path,
-            &DriverConfig::new(client_addr, server_addr),
-            &mut rng,
+            DriverConfig::new(client_addr, server_addr),
         )
+        .execute(&mut rng)
+        .connection
     }
 
     #[test]

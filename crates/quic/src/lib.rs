@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod behavior;
 pub mod client;
 pub mod driver;
@@ -43,6 +44,7 @@ pub mod server;
 pub mod spaces;
 pub mod transport_params;
 
+pub use app::{AppChunk, AppDataSource, BulkObject, FrameSource, StreamPacketizer};
 pub use behavior::{EcnMirroringBehavior, ServerBehavior};
 pub use client::{ClientConfig, ClientConnection, ClientEcnMode, ClientReport};
 #[allow(deprecated)]

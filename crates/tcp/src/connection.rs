@@ -623,7 +623,9 @@ mod tests {
     fn run(config: TcpClientConfig, behavior: TcpServerBehavior, path: &DuplexPath) -> TcpReport {
         let (c, s) = addrs();
         let mut rng = StdRng::seed_from_u64(42);
-        run_tcp_connection(config, behavior, c, s, path, &mut rng)
+        TcpConnectionRun::new(config, behavior, c, s, path)
+            .execute(&mut rng)
+            .report
     }
 
     #[test]

@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod behavior;
 pub mod connection;
 
+pub use app::SegmentPacketizer;
 pub use behavior::TcpServerBehavior;
 #[allow(deprecated)]
 pub use connection::{run_tcp_connection, run_tcp_connection_under_load};

@@ -1,0 +1,54 @@
+//! Determinism gates for the workload layer.
+//!
+//! A scenario run must be a pure function of `(scenario, variant)`:
+//!
+//! * the production [`TimerWheel`](qem_netsim::TimerWheel) scheduler and
+//!   the binary-heap oracle must produce identical reports;
+//! * running the variants through [`ShardedExecutor`] must produce the same
+//!   rendered comparison for every worker count, byte for byte — the same
+//!   property CI's examples-smoke job checks on `examples/netbench.rs`.
+
+use qem_core::executor::ShardedExecutor;
+use qem_workload::{EcnVariant, Scenario, WorkloadComparison};
+
+fn scenario() -> Scenario {
+    Scenario::netbench_default(7)
+}
+
+fn comparison_with_workers(workers: usize) -> String {
+    let scenario = scenario();
+    let reports = ShardedExecutor::new(workers).run(&EcnVariant::ALL, |v| scenario.run(*v));
+    WorkloadComparison {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        reports,
+    }
+    .to_string()
+}
+
+#[test]
+fn timer_wheel_and_heap_oracle_agree_on_every_variant() {
+    let scenario = scenario();
+    for variant in EcnVariant::ALL {
+        let wheel = scenario.run(variant);
+        let heap = scenario.run_heap(variant);
+        assert_eq!(
+            wheel,
+            heap,
+            "scenario diverged between schedulers under {}",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn rendered_comparison_is_byte_identical_across_worker_counts() {
+    let sequential = comparison_with_workers(1);
+    for workers in [2, 4, 0] {
+        assert_eq!(
+            sequential,
+            comparison_with_workers(workers),
+            "comparison drifted between 1 and {workers} workers"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Netbench-style workload comparison: what ECN buys an application.
+//!
+//! Runs the default workload scenario (QUIC + TCP bulk transfers, a 30 fps
+//! RTC stream and background load over one shared bottleneck) under the
+//! ECN-on, ECN-off and CE-blackholed variants and prints the comparison
+//! tables: bulk goodput CDF, flow completion times, RTC frame lateness and
+//! the bottleneck queue counters.
+//!
+//! Run with: `cargo run --release --example netbench`
+//!
+//! Options:
+//!
+//! * `--workers <n>` — worker-thread budget for running the three variants
+//!   in parallel (`0` = one per core; the default).  The output is
+//!   byte-identical for every value — CI diffs a `--workers 1` run against
+//!   `--workers 0`.
+//! * `--seed <n>` — scenario seed (default 7, the golden-snapshot seed).
+//! * `--metrics` — also print the ecn-on variant's metrics snapshot as JSON.
+
+use qem_core::executor::ShardedExecutor;
+use qem_workload::{EcnVariant, Scenario, WorkloadComparison};
+
+fn parse_args() -> (usize, u64, bool) {
+    let mut workers = 0usize;
+    let mut seed = 7u64;
+    let mut metrics = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--workers requires a number");
+                    std::process::exit(2);
+                });
+                workers = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid worker count: {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--seed requires a number");
+                    std::process::exit(2);
+                });
+                seed = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid seed: {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--metrics" => metrics = true,
+            other => {
+                eprintln!(
+                    "unknown argument: {other} (expected --workers <n>, --seed <n> or --metrics)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (workers, seed, metrics)
+}
+
+fn main() {
+    let (workers, seed, metrics) = parse_args();
+    let scenario = Scenario::netbench_default(seed);
+
+    // One variant per shard: each run is a pure function of
+    // (scenario, variant), so the executor's input-order reassembly makes
+    // the comparison identical for every worker count.
+    let executor = ShardedExecutor::new(workers);
+    let reports = executor.run(&EcnVariant::ALL, |variant| scenario.run(*variant));
+    let comparison = WorkloadComparison {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        reports,
+    };
+    print!("{comparison}");
+
+    if metrics {
+        if let Some(report) = comparison
+            .reports
+            .iter()
+            .find(|r| r.variant == EcnVariant::EcnOn)
+        {
+            print!("{}", report.metrics.to_json());
+        }
+    }
+}

@@ -16,3 +16,4 @@ pub use qem_store as store;
 pub use qem_tcp as tcp;
 pub use qem_tracebox as tracebox;
 pub use qem_web as web;
+pub use qem_workload as workload;

@@ -39,6 +39,10 @@ fn golden_engine_metrics_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_engine_metrics.txt")
 }
 
+fn golden_workload_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_workload_report.txt")
+}
+
 /// Render every table and figure the acceptance criteria name (Tables 1–7,
 /// Figures 3–8; Figure 8 shares its builder with Figure 4) into one string.
 fn render_all_reports() -> String {
@@ -134,9 +138,23 @@ fn check_golden(path: PathBuf, rendered: &str) {
     );
 }
 
+/// The cross-variant workload comparison of the default netbench scenario
+/// at the example's default seed — exactly what `examples/netbench.rs`
+/// prints, so the snapshot also pins the example's output.
+fn render_workload_comparison() -> String {
+    qem_workload::Scenario::netbench_default(7)
+        .run_all()
+        .to_string()
+}
+
 #[test]
 fn reports_match_golden_snapshot() {
     check_golden(golden_path(), &render_all_reports());
+}
+
+#[test]
+fn workload_comparison_matches_golden_snapshot() {
+    check_golden(golden_workload_path(), &render_workload_comparison());
 }
 
 #[test]
