@@ -3,6 +3,7 @@
 
 use crate::executor::ShardedExecutor;
 use crate::observation::{DomainRecord, HostMeasurement, MirrorUse};
+use crate::resilience::RetryPolicy;
 use crate::scanner::{ProbeMode, ScanOptions, Scanner};
 use crate::vantage::VantagePoint;
 use qem_netsim::CrossTraffic;
@@ -32,6 +33,9 @@ pub struct CampaignOptions {
     /// measured host's bottleneck).  Off by default; when off, campaign
     /// results are bit-identical to the single-flow methodology.
     pub cross_traffic: CrossTraffic,
+    /// QUIC probe retry policy; [`RetryPolicy::none()`] by default.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl CampaignOptions {
@@ -48,6 +52,7 @@ impl CampaignOptions {
             workers: 0,
             seed: 0x1299,
             cross_traffic: CrossTraffic::none(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -89,6 +94,7 @@ impl CampaignOptions {
             workers: self.workers,
             seed: self.seed,
             cross_traffic: self.cross_traffic,
+            retry: self.retry,
         }
     }
 }

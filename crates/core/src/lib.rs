@@ -21,6 +21,7 @@ pub mod executor;
 pub mod metrics;
 pub mod observation;
 pub mod reports;
+pub mod resilience;
 pub mod scanner;
 pub mod source;
 pub mod vantage;
@@ -30,6 +31,7 @@ pub use executor::{ExecutorStats, ShardedExecutor};
 pub use metrics::{class_slug, ScanMetrics};
 pub use observation::{DomainRecord, EcnClass, HostMeasurement, MirrorUse};
 pub use qem_netsim::CrossTraffic;
+pub use resilience::{classify_probe, ProbeError, RetryPolicy};
 pub use scanner::{ScanOptions, Scanner};
 pub use source::{JoinedSnapshot, SnapshotSource};
 pub use vantage::{CloudProvider, VantagePoint};

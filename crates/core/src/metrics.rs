@@ -13,6 +13,7 @@
 //! [`crate::scanner::Scanner::scheduling_snapshot`].
 
 use crate::observation::EcnClass;
+use crate::resilience::ProbeError;
 use qem_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use std::sync::Mutex;
 
@@ -51,6 +52,9 @@ pub struct ScanMetrics {
     pub(crate) quic_forward_losses: Counter,
     pub(crate) quic_reverse_losses: Counter,
     pub(crate) quic_elapsed_us: Histogram,
+    pub(crate) quic_retries: Counter,
+    pub(crate) quic_recovered: Counter,
+    pub(crate) quic_backoff_us: Histogram,
 }
 
 impl Default for ScanMetrics {
@@ -78,6 +82,9 @@ impl ScanMetrics {
             quic_forward_losses: registry.counter("scan.quic.forward_losses"),
             quic_reverse_losses: registry.counter("scan.quic.reverse_losses"),
             quic_elapsed_us: registry.histogram("scan.quic.elapsed_us"),
+            quic_retries: registry.counter("scan.quic.retries"),
+            quic_recovered: registry.counter("scan.quic.recovered"),
+            quic_backoff_us: registry.histogram("scan.quic.backoff_us"),
             registry,
             engine: Mutex::new(MetricsSnapshot::new()),
             scheduling: Mutex::new(MetricsSnapshot::new()),
@@ -93,12 +100,26 @@ impl ScanMetrics {
         ] {
             metrics.registry.counter(&class_name(class));
         }
+        // Same for the probe-error taxonomy rows.
+        for error in [
+            ProbeError::Timeout,
+            ProbeError::Blackhole,
+            ProbeError::CorruptReply,
+            ProbeError::Exhausted { attempts: 0 },
+        ] {
+            metrics.registry.counter(&probe_error_name(error));
+        }
         metrics
     }
 
     /// Count one host in ECN validation class `class`.
     pub(crate) fn record_class(&self, class: EcnClass) {
         self.registry.counter(&class_name(class)).inc();
+    }
+
+    /// Count one final (post-retry) probe failure in its taxonomy row.
+    pub(crate) fn record_probe_error(&self, error: ProbeError) {
+        self.registry.counter(&probe_error_name(error)).inc();
     }
 
     /// Fold one connection's engine metrics into the scan-wide aggregate.
@@ -140,6 +161,10 @@ impl ScanMetrics {
 
 fn class_name(class: EcnClass) -> String {
     format!("scan.class.{}", class_slug(class))
+}
+
+fn probe_error_name(error: ProbeError) -> String {
+    format!("scan.probe_error.{}", error.slug())
 }
 
 #[cfg(test)]

@@ -10,8 +10,9 @@
 use crate::executor::{ExecutorStats, ShardedExecutor};
 use crate::metrics::ScanMetrics;
 use crate::observation::{EcnClass, HostMeasurement};
+use crate::resilience::{classify_probe, ProbeError, RetryPolicy};
 use crate::vantage::VantagePoint;
-use qem_netsim::{build_duplex_path, Asn, CrossTraffic, DuplexPath, TransitProfile};
+use qem_netsim::{build_duplex_path, Asn, CrossTraffic, DuplexPath, FaultPlan, TransitProfile};
 use qem_obs::MetricsSnapshot;
 use qem_quic::behavior::EcnMirroringBehavior;
 use qem_quic::{ClientConfig, ConnectionRun, DriverConfig, EcnConfig};
@@ -52,6 +53,10 @@ pub struct ScanOptions {
     /// default everywhere) keeps the scan bit-identical to the single-flow
     /// methodology.
     pub cross_traffic: CrossTraffic,
+    /// QUIC probe retry policy.  [`RetryPolicy::none()`] (the default)
+    /// keeps the scan bit-identical to the single-attempt methodology.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl ScanOptions {
@@ -69,6 +74,7 @@ impl ScanOptions {
             workers: 0,
             seed: 0x5eed,
             cross_traffic: CrossTraffic::none(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -93,6 +99,10 @@ pub struct Scanner<'a> {
     /// Probe-outcome metrics, recorded per host and merged commutatively —
     /// the deterministic part of the scan's observability surface.
     metrics: ScanMetrics,
+    /// Impairments injected on every forward path (chaos scans).  Empty by
+    /// default; not part of [`ScanOptions`] because a plan is a schedule,
+    /// not part of a snapshot's identity — stores reject faulted scans.
+    fault_plan: FaultPlan,
 }
 
 impl<'a> Scanner<'a> {
@@ -110,7 +120,16 @@ impl<'a> Scanner<'a> {
             options,
             domain_weight,
             metrics: ScanMetrics::new(),
+            fault_plan: FaultPlan::default(),
         }
+    }
+
+    /// Inject `plan` on the forward path of every probed host (builder
+    /// style).  Pair with a non-noop [`RetryPolicy`] to measure what
+    /// resilience costs under impairment.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// The options in use.
@@ -209,24 +228,54 @@ impl<'a> Scanner<'a> {
                 ProbeMode::Ect0 => ClientConfig::paper_default(&sni),
                 ProbeMode::ForceCe => ClientConfig::force_ce(&sni),
             };
-            let driver = DriverConfig::new(client_addr, server_addr);
             self.metrics.quic_attempted.inc();
-            // A disabled scenario falls back to the plain single-flow run
-            // inside the builder, so the old enabled/disabled call matrix
-            // collapses into one expression.
-            let run = ConnectionRun::new(client_config, behavior, &path, driver)
-                .cross_traffic(self.options.cross_traffic)
-                .telemetry(true)
-                .execute(&mut rng);
-            let outcome = run.connection;
-            self.metrics
-                .quic_elapsed_us
-                .record(outcome.elapsed.as_micros());
-            self.metrics.quic_forward_losses.add(outcome.forward_losses);
-            self.metrics.quic_reverse_losses.add(outcome.reverse_losses);
-            let telemetry = run.telemetry.unwrap_or_default();
-            self.metrics.absorb_engine(&telemetry.metrics);
-            outcome.report
+            let policy = self.options.retry;
+            let max_attempts = policy.attempts.max(1);
+            let mut attempt = 1u32;
+            loop {
+                let driver = DriverConfig::new(client_addr, server_addr);
+                // A disabled scenario falls back to the plain single-flow run
+                // inside the builder, so the old enabled/disabled call matrix
+                // collapses into one expression.
+                let run =
+                    ConnectionRun::new(client_config.clone(), behavior.clone(), &path, driver)
+                        .cross_traffic(self.options.cross_traffic)
+                        .telemetry(true)
+                        .execute(&mut rng);
+                let outcome = run.connection;
+                self.metrics
+                    .quic_elapsed_us
+                    .record(outcome.elapsed.as_micros());
+                self.metrics.quic_forward_losses.add(outcome.forward_losses);
+                self.metrics.quic_reverse_losses.add(outcome.reverse_losses);
+                let telemetry = run.telemetry.unwrap_or_default();
+                self.metrics.absorb_engine(&telemetry.metrics);
+                match classify_probe(&outcome) {
+                    Ok(()) => {
+                        if attempt > 1 {
+                            self.metrics.quic_recovered.inc();
+                        }
+                        break outcome.report;
+                    }
+                    Err(error) if attempt < max_attempts => {
+                        self.metrics.record_probe_error(error);
+                        let backoff = policy.backoff_before(attempt + 1, &mut rng);
+                        self.metrics.quic_backoff_us.record(backoff.as_micros());
+                        self.metrics.quic_retries.inc();
+                        attempt += 1;
+                    }
+                    Err(error) => {
+                        // The final verdict: the concrete error, plus the
+                        // exhausted row when retries were actually burned.
+                        self.metrics.record_probe_error(error);
+                        if attempt > 1 {
+                            self.metrics
+                                .record_probe_error(ProbeError::Exhausted { attempts: attempt });
+                        }
+                        break outcome.report;
+                    }
+                }
+            }
         });
         if quic_report.as_ref().is_some_and(|r| r.connected) {
             self.metrics.quic_connected.inc();
@@ -343,13 +392,17 @@ impl<'a> Scanner<'a> {
                 _ => {}
             }
         }
-        build_duplex_path(
+        let mut duplex = build_duplex_path(
             self.vantage.asn,
             host.asn,
             transit,
             TransitProfile::Clean,
             v6,
-        )
+        );
+        if !self.fault_plan.is_empty() {
+            duplex.forward = duplex.forward.with_fault(self.fault_plan.clone());
+        }
+        duplex
     }
 
     /// The QUIC behaviour of the host at the scan date, after location quirks.

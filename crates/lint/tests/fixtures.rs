@@ -128,6 +128,25 @@ fn scheduler_files_are_panic_policy_zones() {
 }
 
 #[test]
+fn store_read_path_and_resilience_files_are_panic_policy_zones() {
+    // The store read path degrades to typed StoreErrors (or quarantine)
+    // instead of aborting a census; the fault and retry machinery joined
+    // the scan hot path.  The panic policy must fire in all of them.
+    for path in [
+        "crates/store/src/wire.rs",
+        "crates/store/src/codec.rs",
+        "crates/store/src/segment.rs",
+        "crates/store/src/store.rs",
+        "crates/store/src/longitudinal.rs",
+        "crates/core/src/resilience.rs",
+        "crates/netsim/src/fault.rs",
+    ] {
+        let lines = fired_lines(path, "violations/panics.rs", "panic-policy");
+        assert_eq!(lines, BTreeSet::from([4, 5, 7, 10, 11, 12]), "{path}");
+    }
+}
+
+#[test]
 fn deprecated_runner_fixture_fires_on_every_wrapper() {
     let lines = fired_lines(
         "crates/workload/src/fixture.rs",

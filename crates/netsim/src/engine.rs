@@ -31,6 +31,7 @@
 //! callers get bit-identical results.
 
 use crate::aqm::{AqmDecision, OccupancyAqm};
+use crate::fault::{FaultStats, FaultVerdict};
 use crate::path::Path;
 use crate::router::RouterId;
 use crate::time::{SimDuration, SimInstant};
@@ -406,6 +407,7 @@ impl QueueState {
 #[derive(Debug, Default)]
 pub struct SharedQueues {
     queues: BTreeMap<RouterId, QueueState>,
+    faults: FaultStats,
 }
 
 impl SharedQueues {
@@ -495,6 +497,18 @@ impl SharedQueues {
         (decision, departure - now)
     }
 
+    /// Fold one fault-plan verdict into the run's fault counters.  Called
+    /// by [`Path::transit_shared`](crate::path::Path::transit_shared) for
+    /// every packet crossing a path with a non-empty plan.
+    pub fn record_fault(&mut self, verdict: &FaultVerdict) {
+        self.faults.record(verdict);
+    }
+
+    /// The fault-injection counters accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
     /// Per-router metrics of every registered queue, in router-id order:
     /// `queue.r<id>.{enqueued,marked,dropped}` counters, the
     /// `queue.r<id>.peak_occupancy` gauge and the `queue.r<id>.occupancy`
@@ -515,6 +529,23 @@ impl SharedQueues {
                 format!("{prefix}occupancy"),
                 state.occupancy_hist.snapshot(),
             );
+        }
+        // Fault counters are emitted only when nonzero: fault-free runs —
+        // every golden-pinned scenario — keep byte-identical telemetry.
+        for (key, value) in [
+            ("fault.drops.loss", self.faults.loss_drops),
+            ("fault.drops.burst", self.faults.burst_drops),
+            ("fault.drops.blackhole", self.faults.blackhole_drops),
+            ("fault.drops.flap", self.faults.flap_drops),
+            ("fault.corrupted", self.faults.corrupted),
+            ("fault.duplicates", self.faults.duplicates),
+            ("fault.dup_salvaged", self.faults.salvaged),
+            ("fault.reordered", self.faults.reordered),
+            ("fault.jittered", self.faults.jittered),
+        ] {
+            if value > 0 {
+                snap.set_counter(key, value);
+            }
         }
         snap
     }
@@ -844,7 +875,10 @@ impl CrossTraffic {
         let hop = forward.hops.last()?.clone();
         let mut queues = SharedQueues::new();
         queues.register(bottleneck, self.queue_config());
-        let load_path = Path::new(vec![hop]);
+        // Background load shares the impaired link, so the forward path's
+        // fault plan rides along onto the derived one-hop load path — an
+        // empty plan keeps this draw-free and bit-identical to before.
+        let load_path = Path::new(vec![hop]).with_fault(forward.fault.clone());
         let flows = LoadFlow::fleet(
             &load_path,
             self.flows,

@@ -30,6 +30,7 @@
 pub mod aqm;
 pub mod arena;
 pub mod engine;
+pub mod fault;
 pub mod path;
 pub mod policy;
 pub mod router;
@@ -44,6 +45,7 @@ pub use engine::{
     FlowWake, HeapEngine, LoadFlow, QueueConfig, QueueStats, Scheduler, SchedulerStats,
     SharedQueues, DEFAULT_EVENT_LOG_CAPACITY,
 };
+pub use fault::{FaultDrop, FaultKind, FaultPlan, FaultStats, FaultVerdict, FaultWindow};
 pub use path::{DuplexPath, Hop, Path, TransitOutcome};
 pub use policy::{DscpPolicy, EcnPolicy};
 pub use router::{IcmpBehavior, Router, RouterId};

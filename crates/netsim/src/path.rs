@@ -2,6 +2,7 @@
 //! answer packets with ICMP.
 
 use crate::engine::SharedQueues;
+use crate::fault::FaultPlan;
 use crate::router::Router;
 use crate::time::{SimDuration, SimInstant};
 use qem_packet::ecn::EcnCodepoint;
@@ -100,17 +101,34 @@ impl TransitOutcome {
 pub struct Path {
     /// The hops, in forwarding order (nearest to the sender first).
     pub hops: Vec<Hop>,
+    /// Scheduled impairments applied at path entry.  Empty by default —
+    /// and an empty plan consumes no RNG draws, keeping fault-free paths
+    /// bit-identical to the pre-fault world.
+    #[serde(default)]
+    pub fault: FaultPlan,
 }
 
 impl Path {
     /// An empty (zero-hop, loss-free, delay-free) path; useful in unit tests.
     pub fn empty() -> Self {
-        Path { hops: Vec::new() }
+        Path {
+            hops: Vec::new(),
+            fault: FaultPlan::default(),
+        }
     }
 
     /// Build a path from hops.
     pub fn new(hops: Vec<Hop>) -> Self {
-        Path { hops }
+        Path {
+            hops,
+            fault: FaultPlan::default(),
+        }
+    }
+
+    /// Attach a fault plan (builder style).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Number of hops.
@@ -184,6 +202,30 @@ impl Path {
     ) -> TransitOutcome {
         let mut current = datagram.clone();
         let mut elapsed = SimDuration::ZERO;
+
+        // Fault injection happens once, at path entry, before any hop sees
+        // the packet.  The guard keeps clean paths draw-free; timed windows
+        // are evaluated at the engine clock when present, at the epoch for
+        // the un-timed `transit` entry point.
+        if !self.fault.is_empty() {
+            let now = match shared.as_ref() {
+                Some((now, _)) => *now,
+                None => SimInstant::EPOCH,
+            };
+            let verdict = self.fault.apply(now, current.payload.len(), rng);
+            if let Some((_, queues)) = shared.as_mut() {
+                queues.record_fault(&verdict);
+            }
+            if verdict.drop.is_some() {
+                // Fault drops report hop 0: the plan guards the path entry.
+                return TransitOutcome::Dropped { at_hop: 0 };
+            }
+            elapsed += verdict.extra_delay;
+            if let Some(index) = verdict.corrupt_byte {
+                current.payload[index] ^= 0x01;
+            }
+        }
+
         for (index, hop) in self.hops.iter().enumerate() {
             elapsed += hop.delay;
 

@@ -82,6 +82,17 @@ fn reject_cross_traffic(options: &CampaignOptions) -> Result<(), StoreError> {
                 .to_string(),
         ));
     }
+    // Same argument for retries: a failed attempt re-draws from the per-host
+    // RNG, so the retry policy shapes the measurement stream — and it is not
+    // part of [`SnapshotMeta`], so a resume could not reproduce it.
+    if !options.retry.is_noop() {
+        return Err(StoreError::Mismatch(
+            "retrying campaigns cannot be persisted: the retry policy is not \
+             part of the store identity, so a resumed scan could not reproduce \
+             it — run chaos campaigns in memory instead"
+                .to_string(),
+        ));
+    }
     Ok(())
 }
 
@@ -149,6 +160,7 @@ impl CampaignStoreExt for Campaign<'_> {
                 workers: options.workers,
                 seed: options.seed,
                 cross_traffic: options.cross_traffic,
+                retry: qem_core::resilience::RetryPolicy::none(),
             },
         );
         let population = universe.scan_population(ipv6);
@@ -194,10 +206,11 @@ impl CampaignStoreExt for Campaign<'_> {
                 trace_sample_probability: meta.trace_sample_probability,
                 workers,
                 seed: meta.seed,
-                // Cross-traffic what-if scenarios are not campaign artifacts:
-                // the store only ever holds (and resumes) the single-flow
-                // methodology, so a resumed scan always runs without load.
+                // Cross-traffic and retry what-if scenarios are not campaign
+                // artifacts: the store only ever holds (and resumes) the
+                // single-flow, single-attempt methodology.
                 cross_traffic: qem_netsim::CrossTraffic::none(),
+                retry: qem_core::resilience::RetryPolicy::none(),
             },
         );
         scan_into(&scanner, &remaining, |m| writer.append(m))?;
@@ -234,6 +247,7 @@ impl CampaignStoreExt for Campaign<'_> {
                     workers: options.workers,
                     seed: options.seed,
                     cross_traffic: options.cross_traffic,
+                    retry: qem_core::resilience::RetryPolicy::none(),
                 },
             );
             scan_into(&scanner, &population, |m| writer.append(m))?;
@@ -358,6 +372,7 @@ mod tests {
                     workers: 0,
                     seed: options.seed,
                     cross_traffic: options.cross_traffic,
+                    retry: qem_core::resilience::RetryPolicy::none(),
                 },
             );
             scan_into(&scanner, &population[..cut], |m| writer.append(m)).unwrap();

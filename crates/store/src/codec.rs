@@ -190,11 +190,13 @@ fn read_opt_ip(r: &mut ByteReader<'_>) -> Result<Option<IpAddr>, StoreError> {
     match r.u8()? {
         0 => Ok(None),
         4 => {
-            let octets: [u8; 4] = r.bytes(4)?.try_into().expect("4 bytes");
+            let mut octets = [0u8; 4];
+            octets.copy_from_slice(r.bytes(4)?);
             Ok(Some(IpAddr::from(octets)))
         }
         6 => {
-            let octets: [u8; 16] = r.bytes(16)?.try_into().expect("16 bytes");
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(r.bytes(16)?);
             Ok(Some(IpAddr::from(octets)))
         }
         tag => Err(StoreError::Corrupt(format!("invalid IP address tag {tag}"))),

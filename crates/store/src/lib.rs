@@ -40,7 +40,8 @@ pub use campaign::{scan_into, CampaignStoreExt, ResumeOutcome};
 pub use codec::FORMAT_VERSION;
 pub use longitudinal::{LongitudinalStore, LongitudinalWriter};
 pub use store::{
-    CampaignWriter, MeasurementIter, SnapshotMeta, StoredSnapshot, WriterStats, TELEMETRY_FILE,
+    CampaignWriter, MeasurementIter, QuarantineReport, SnapshotMeta, StoredSnapshot, WriterStats,
+    TELEMETRY_FILE,
 };
 
 use std::fmt;

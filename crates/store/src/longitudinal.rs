@@ -31,7 +31,7 @@
 use crate::codec::FORMAT_VERSION;
 use crate::segment::write_atomically;
 use crate::store::{CampaignWriter, SnapshotMeta, StoredSnapshot};
-use crate::wire::{fnv1a, write_str, write_u64_le, write_varint, ByteReader};
+use crate::wire::{fnv1a, split_seal, write_str, write_u64_le, write_varint, ByteReader};
 use crate::StoreError;
 use qem_core::campaign::{CampaignOptions, SnapshotMeasurement};
 use qem_core::observation::HostMeasurement;
@@ -74,13 +74,8 @@ fn encode_series_meta(
 }
 
 fn decode_series_dates(bytes: &[u8]) -> Result<Vec<SnapshotDate>, StoreError> {
-    if bytes.len() < 8 {
-        return Err(StoreError::Corrupt(
-            "longitudinal metadata truncated".to_string(),
-        ));
-    }
-    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    let (body, stored) = split_seal(bytes)
+        .map_err(|_| StoreError::Corrupt("longitudinal metadata truncated".to_string()))?;
     if stored != fnv1a(body) {
         return Err(StoreError::Corrupt(
             "longitudinal metadata checksum mismatch".to_string(),

@@ -14,7 +14,7 @@
 //! relies on.
 
 use crate::codec::{decode_block, encode_block, FORMAT_VERSION};
-use crate::wire::{fnv1a, ByteReader};
+use crate::wire::{fnv1a, split_seal, ByteReader};
 use crate::StoreError;
 use qem_core::observation::HostMeasurement;
 use std::fs;
@@ -78,6 +78,19 @@ pub fn read_segment(path: &Path) -> Result<Vec<HostMeasurement>, StoreError> {
     decode_block(payload).map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))
 }
 
+/// Verify a segment file's framing and FNV seal without decoding the block.
+///
+/// This is the eager integrity check [`crate::StoredSnapshot::open`] runs
+/// over every segment, so corruption surfaces as a typed
+/// [`StoreError::Corrupt`] naming the file at open time instead of failing
+/// (or silently skipping) halfway through a census.
+pub fn verify_segment(path: &Path) -> Result<(), StoreError> {
+    let bytes = fs::read(path)?;
+    check_framing(&bytes)
+        .map(|_| ())
+        .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))
+}
+
 /// Validate magic, version and checksum; return the enclosed block bytes.
 pub fn check_framing(bytes: &[u8]) -> Result<&[u8], StoreError> {
     if bytes.len() < MAGIC.len() + 1 + 8 {
@@ -85,8 +98,7 @@ pub fn check_framing(bytes: &[u8]) -> Result<&[u8], StoreError> {
             "file shorter than segment framing".to_string(),
         ));
     }
-    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    let (body, stored) = split_seal(bytes)?;
     let computed = fnv1a(body);
     if stored != computed {
         return Err(StoreError::Corrupt(format!(

@@ -16,9 +16,10 @@
 
 use crate::codec::{encode_block, FORMAT_VERSION};
 use crate::segment::{
-    list_segments, read_segment, remove_tmp_orphans, write_atomically, write_segment,
+    list_segments, read_segment, remove_tmp_orphans, verify_segment, write_atomically,
+    write_segment,
 };
-use crate::wire::{fnv1a, write_str, write_u64_le, write_varint, ByteReader};
+use crate::wire::{fnv1a, split_seal, write_str, write_u64_le, write_varint, ByteReader};
 use crate::StoreError;
 use qem_core::campaign::{CampaignOptions, SnapshotMeasurement};
 use qem_core::observation::HostMeasurement;
@@ -30,6 +31,7 @@ use qem_web::SnapshotDate;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const META_MAGIC: &[u8; 4] = b"QMET";
 const COMPLETE_MAGIC: &[u8; 4] = b"QDON";
@@ -136,11 +138,8 @@ impl SnapshotMeta {
     }
 
     fn decode(bytes: &[u8]) -> Result<SnapshotMeta, StoreError> {
-        if bytes.len() < 8 {
-            return Err(StoreError::Corrupt("metadata file truncated".to_string()));
-        }
-        let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+        let (body, stored) = split_seal(bytes)
+            .map_err(|_| StoreError::Corrupt("metadata file truncated".to_string()))?;
         if stored != fnv1a(body) {
             return Err(StoreError::Corrupt(
                 "metadata checksum mismatch".to_string(),
@@ -240,11 +239,8 @@ fn read_complete_marker(dir: &Path) -> Result<Option<u64>, StoreError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     };
-    if bytes.len() < 8 {
-        return Err(StoreError::Corrupt("COMPLETE marker truncated".to_string()));
-    }
-    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    let (body, stored) = split_seal(&bytes)
+        .map_err(|_| StoreError::Corrupt("COMPLETE marker truncated".to_string()))?;
     if stored != fnv1a(body) {
         return Err(StoreError::Corrupt(
             "COMPLETE marker checksum mismatch".to_string(),
@@ -447,13 +443,46 @@ impl CampaignWriter {
     pub fn finish_with_stats(mut self) -> Result<(StoredSnapshot, WriterStats), StoreError> {
         self.flush_segment()?;
         write_complete_marker(&self.dir, self.appended)?;
-        Ok((StoredSnapshot::open(&self.dir)?, self.stats))
+        Ok((StoredSnapshot::open_trusted(&self.dir)?, self.stats))
     }
 }
 
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
+
+/// What [`StoredSnapshot::open_quarantining`] had to set aside: segments
+/// whose FNV seal failed, with the corruption that condemned them.  The
+/// quarantined segments are dropped from the read set, so a census over the
+/// snapshot degrades to partial results instead of dying.
+#[derive(Debug, Default)]
+pub struct QuarantineReport {
+    /// Quarantined segment paths, each with the error that condemned it.
+    pub segments: Vec<(PathBuf, StoreError)>,
+}
+
+impl QuarantineReport {
+    /// Whether every segment passed verification.
+    pub fn is_clean(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of segments set aside.
+    pub fn quarantined_segments(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// The quarantine outcome as `store.quarantine.*` counters for
+    /// [`qem_obs::RunTelemetry`].  Empty when the store was clean, so the
+    /// telemetry of healthy runs is unchanged.
+    pub fn telemetry(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        if !self.segments.is_empty() {
+            snap.set_counter("store.quarantine.segments", self.segments.len() as u64);
+        }
+        snap
+    }
+}
 
 /// A snapshot directory opened for reading.
 ///
@@ -465,11 +494,29 @@ pub struct StoredSnapshot {
     meta: SnapshotMeta,
     segments: Vec<PathBuf>,
     recorded_count: Option<u64>,
+    /// Segments the tolerant [`SnapshotSource`] read path had to skip —
+    /// a high-water mark across passes, seeded by
+    /// [`StoredSnapshot::open_quarantining`].
+    quarantined: AtomicU64,
 }
 
 impl StoredSnapshot {
-    /// Open a **complete** snapshot.
+    /// Open a **complete** snapshot, eagerly verifying every segment's FNV
+    /// seal: corruption surfaces here as [`StoreError::Corrupt`] naming the
+    /// bad file, not as a failure halfway through report generation.  Use
+    /// [`StoredSnapshot::open_quarantining`] to degrade gracefully instead.
     pub fn open(dir: &Path) -> Result<StoredSnapshot, StoreError> {
+        let snapshot = StoredSnapshot::open_trusted(dir)?;
+        for path in &snapshot.segments {
+            verify_segment(path)?;
+        }
+        Ok(snapshot)
+    }
+
+    /// [`StoredSnapshot::open`] without the eager per-segment verification —
+    /// for the writer that just produced (and synced) every segment itself
+    /// and would only be re-hashing its own output.
+    pub(crate) fn open_trusted(dir: &Path) -> Result<StoredSnapshot, StoreError> {
         let snapshot = StoredSnapshot::open_partial(dir)?;
         if snapshot.recorded_count.is_none() {
             return Err(StoreError::State(format!(
@@ -490,7 +537,36 @@ impl StoredSnapshot {
             meta,
             segments,
             recorded_count,
+            quarantined: AtomicU64::new(0),
         })
+    }
+
+    /// Open a snapshot tolerantly: verify every segment's seal and
+    /// **quarantine** the corrupt ones — skip, count and report them — so
+    /// downstream consumers see a partial but well-formed snapshot instead
+    /// of an error or a panic.
+    ///
+    /// Quarantining invalidates the `COMPLETE` marker's record count (the
+    /// missing records are exactly what was quarantined), so the returned
+    /// snapshot reports itself as incomplete and counts hosts by streaming.
+    pub fn open_quarantining(dir: &Path) -> Result<(StoredSnapshot, QuarantineReport), StoreError> {
+        let mut snapshot = StoredSnapshot::open_partial(dir)?;
+        let mut report = QuarantineReport::default();
+        let mut kept = Vec::with_capacity(snapshot.segments.len());
+        for path in std::mem::take(&mut snapshot.segments) {
+            match verify_segment(&path) {
+                Ok(()) => kept.push(path),
+                Err(e) => report.segments.push((path, e)),
+            }
+        }
+        snapshot.segments = kept;
+        if !report.is_clean() {
+            snapshot.recorded_count = None;
+            snapshot
+                .quarantined
+                .store(report.quarantined_segments(), Ordering::Relaxed);
+        }
+        Ok((snapshot, report))
     }
 
     /// The snapshot identity.
@@ -532,6 +608,46 @@ impl StoredSnapshot {
             current: Vec::new().into_iter(),
             failed: false,
         }
+    }
+
+    /// Segments the tolerant [`SnapshotSource`] read path has had to skip,
+    /// seeded by what [`StoredSnapshot::open_quarantining`] set aside.  A
+    /// nonzero value means reports built from this snapshot are partial.
+    ///
+    /// The counter is a high-water mark, not a sum: a census streams the
+    /// store once per table, and one bad segment stays one bad segment.
+    pub fn quarantined_segments(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// The current quarantine state as `store.quarantine.*` counters (empty
+    /// while nothing was skipped, so clean runs' telemetry is unchanged).
+    pub fn quarantine_telemetry(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let skipped = self.quarantined_segments();
+        if skipped > 0 {
+            snap.set_counter("store.quarantine.segments", skipped);
+        }
+        snap
+    }
+
+    /// Stream every readable measurement, skipping — and counting into the
+    /// quarantine high-water mark — segments that fail their checksum.
+    /// This is the degraded-mode backbone of the infallible
+    /// [`SnapshotSource`] methods.
+    fn read_tolerantly(&self, f: &mut dyn FnMut(&HostMeasurement)) {
+        let mut skipped = 0u64;
+        for path in &self.segments {
+            match read_segment(path) {
+                Ok(measurements) => {
+                    for m in &measurements {
+                        f(m);
+                    }
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        self.quarantined.fetch_max(skipped, Ordering::Relaxed);
     }
 
     /// The host ids persisted so far, in order.
@@ -586,34 +702,27 @@ impl SnapshotSource for StoredSnapshot {
 
     fn host_count(&self) -> usize {
         // The COMPLETE marker seals the exact record count — no need to
-        // decode the segments just to count them.  Partial stores (no
-        // marker) fall back to streaming, surfacing corruption the same way
-        // `for_each_host` does rather than counting the error item.
+        // decode the segments just to count them.  Partial (or quarantined)
+        // stores fall back to streaming, skipping unreadable segments the
+        // same way `for_each_host` does.
         match self.recorded_count {
             Some(count) => count as usize,
-            None => self
-                .iter()
-                .inspect(|r| {
-                    if let Err(e) = r {
-                        panic!("store segment unreadable while counting hosts: {e}");
-                    }
-                })
-                .count(),
+            None => {
+                let mut count = 0usize;
+                self.read_tolerantly(&mut |_| count += 1);
+                count
+            }
         }
     }
 
-    /// Streams from disk.
+    /// Streams from disk, skipping segments that fail their checksum.
     ///
-    /// # Panics
-    ///
-    /// Panics if a segment fails its checksum mid-iteration; callers that
-    /// need graceful degradation should pre-validate with
-    /// [`StoredSnapshot::iter`].
+    /// A skipped segment bumps [`StoredSnapshot::quarantined_segments`]
+    /// instead of aborting the census; reports degrade to partial results.
+    /// [`StoredSnapshot::open`] verifies eagerly, so skips here mean the
+    /// file rotted (or was tampered with) after open.
     fn for_each_host(&self, f: &mut dyn FnMut(&HostMeasurement)) {
-        for result in self.iter() {
-            let m = result.expect("store segment unreadable during report generation");
-            f(&m);
-        }
+        self.read_tolerantly(f);
     }
 }
 

@@ -44,6 +44,22 @@ pub fn fnv1a(data: &[u8]) -> u64 {
     hash
 }
 
+/// Split a sealed store file into its body and the trailing little-endian
+/// [`fnv1a`] seal.  Every store file ends with this 8-byte seal; a file
+/// shorter than the seal itself is truncation, reported as
+/// [`StoreError::Corrupt`] rather than a slicing panic.
+pub fn split_seal(bytes: &[u8]) -> Result<(&[u8], u64), StoreError> {
+    if bytes.len() < 8 {
+        return Err(StoreError::Corrupt(
+            "file shorter than its 8-byte integrity seal".to_string(),
+        ));
+    }
+    let (body, seal_bytes) = bytes.split_at(bytes.len() - 8);
+    let mut seal = [0u8; 8];
+    seal.copy_from_slice(seal_bytes);
+    Ok((body, u64::from_le_bytes(seal)))
+}
+
 /// A bounds-checked cursor over an encoded buffer.  Every read error carries
 /// the reader's position so corrupt files produce actionable messages.
 pub struct ByteReader<'a> {
@@ -116,7 +132,9 @@ impl<'a> ByteReader<'a> {
     /// Read a little-endian `u64`.
     pub fn u64_le(&mut self) -> Result<u64, StoreError> {
         let bytes = self.bytes(8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let mut array = [0u8; 8];
+        array.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(array))
     }
 
     /// Read a length-prefixed UTF-8 string.

@@ -1,0 +1,254 @@
+//! Read-path resilience: corruption surfaces as typed [`StoreError`]s at
+//! open time, quarantining degrades a snapshot to partial results instead
+//! of dying, and a campaign killed mid-write (torn `.tmp` and all) resumes
+//! to a store byte-identical to an uninterrupted run.
+
+use qem_core::observation::HostMeasurement;
+use qem_core::source::SnapshotSource;
+use qem_store::{CampaignWriter, SnapshotMeta, StoreError, StoredSnapshot};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qem-store-resilience-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn meta() -> SnapshotMeta {
+    SnapshotMeta::for_campaign(
+        &qem_core::campaign::CampaignOptions::paper_default(),
+        &qem_core::vantage::VantagePoint::main(),
+        false,
+    )
+}
+
+fn measurement(host_id: usize) -> HostMeasurement {
+    HostMeasurement {
+        host_id,
+        quic_reachable: host_id % 3 == 0,
+        quic: None,
+        tcp: None,
+        trace: None,
+    }
+}
+
+/// A complete store of `hosts` measurements split into segments of
+/// `capacity`.
+fn write_store(dir: &Path, hosts: usize, capacity: usize) -> StoredSnapshot {
+    let mut writer = CampaignWriter::create(dir, &meta())
+        .unwrap()
+        .with_segment_capacity(capacity);
+    for id in 0..hosts {
+        writer.append(measurement(id)).unwrap();
+    }
+    writer.finish().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Eager seal verification (satellite: typed corruption at open)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_flipped_bit_fails_open_with_a_typed_error_naming_the_segment() {
+    let dir = temp_dir("bitflip");
+    write_store(&dir, 20, 8);
+    let victim = dir.join("segment-00001.qseg");
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01; // a single flipped bit
+    fs::write(&victim, &bytes).unwrap();
+
+    match StoredSnapshot::open(&dir) {
+        Err(StoreError::Corrupt(msg)) => assert!(
+            msg.contains("segment-00001.qseg"),
+            "error must name the corrupt segment: {msg}"
+        ),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_truncated_segment_fails_open_with_a_typed_error_naming_the_segment() {
+    let dir = temp_dir("truncate");
+    write_store(&dir, 20, 8);
+    let victim = dir.join("segment-00002.qseg");
+    let bytes = fs::read(&victim).unwrap();
+    fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    match StoredSnapshot::open(&dir) {
+        Err(StoreError::Corrupt(msg)) => assert!(
+            msg.contains("segment-00002.qseg"),
+            "error must name the truncated segment: {msg}"
+        ),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Even truncation below the 8-byte seal is a typed error, not a panic.
+    fs::write(&victim, b"QSE").unwrap();
+    assert!(matches!(
+        StoredSnapshot::open(&dir),
+        Err(StoreError::Corrupt(_))
+    ));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine: skip + count + report
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quarantining_skips_corrupt_segments_and_counts_them() {
+    let dir = temp_dir("quarantine");
+    write_store(&dir, 24, 8); // segments 0, 1, 2 with 8 hosts each
+    let victim = dir.join("segment-00001.qseg");
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x80;
+    fs::write(&victim, &bytes).unwrap();
+
+    let (snapshot, report) = StoredSnapshot::open_quarantining(&dir).unwrap();
+    assert_eq!(report.quarantined_segments(), 1);
+    assert!(!report.is_clean());
+    assert_eq!(report.segments[0].0, victim);
+    assert_eq!(
+        report.telemetry().counter("store.quarantine.segments"),
+        Some(1)
+    );
+
+    // The census-facing read path completes with the surviving 16 hosts.
+    assert_eq!(snapshot.host_count(), 16);
+    let mut seen = Vec::new();
+    snapshot.for_each_host(&mut |m| seen.push(m.host_id));
+    let expected: Vec<usize> = (0..8).chain(16..24).collect();
+    assert_eq!(seen, expected);
+    assert_eq!(snapshot.quarantined_segments(), 1);
+    assert_eq!(
+        snapshot
+            .quarantine_telemetry()
+            .counter("store.quarantine.segments"),
+        Some(1)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_clean_store_quarantines_nothing_and_keeps_its_complete_count() {
+    let dir = temp_dir("clean");
+    write_store(&dir, 24, 8);
+    let (snapshot, report) = StoredSnapshot::open_quarantining(&dir).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(
+        report.telemetry().counter("store.quarantine.segments"),
+        None
+    );
+    assert!(snapshot.is_complete());
+    assert_eq!(snapshot.host_count(), 24);
+    assert_eq!(snapshot.quarantined_segments(), 0);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_rot_after_open_degrades_for_each_host_instead_of_panicking() {
+    let dir = temp_dir("rot");
+    write_store(&dir, 24, 8);
+    let snapshot = StoredSnapshot::open(&dir).unwrap(); // verifies: all clean
+                                                        // The file rots *after* the eager check — the TOCTOU window the
+                                                        // tolerant read path exists for.
+    let victim = dir.join("segment-00000.qseg");
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    fs::write(&victim, &bytes).unwrap();
+
+    let mut seen = 0usize;
+    snapshot.for_each_host(&mut |_| seen += 1);
+    assert_eq!(seen, 16, "the two healthy segments still stream");
+    assert_eq!(snapshot.quarantined_segments(), 1);
+
+    // A second pass (a census renders several tables) must not double
+    // count: the quarantine counter is a high-water mark.
+    snapshot.for_each_host(&mut |_| {});
+    assert_eq!(snapshot.quarantined_segments(), 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume byte identity (satellite: injected mid-write kill)
+// ---------------------------------------------------------------------------
+
+/// Byte-compare every store artifact (segments, metadata, COMPLETE) in two
+/// directories.  `telemetry.json` is informational and excluded.
+fn assert_stores_byte_identical(a: &Path, b: &Path) {
+    let listing = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "telemetry.json")
+            .collect();
+        names.sort();
+        names
+    };
+    let names = listing(a);
+    assert_eq!(names, listing(b), "file sets differ");
+    for name in names {
+        assert_eq!(
+            fs::read(a.join(&name)).unwrap(),
+            fs::read(b.join(&name)).unwrap(),
+            "{name} differs between the uninterrupted and resumed stores"
+        );
+    }
+}
+
+#[test]
+fn a_mid_write_kill_with_a_torn_tmp_resumes_to_an_identical_store() {
+    // 8 ≪ DEFAULT_SEGMENT_CAPACITY: the test must control segment
+    // boundaries itself, on both the reference and the resumed writer.
+    let capacity = 8;
+
+    // Reference: the uninterrupted run.
+    let reference = temp_dir("uninterrupted");
+    write_store(&reference, 30, capacity);
+
+    // The killed run: one full segment persisted, the second mid-write —
+    // its torn `.tmp` is exactly what `kill -9` during `write_atomically`
+    // leaves behind — and the buffered tail lost.
+    let resumed = temp_dir("killed");
+    {
+        let mut writer = CampaignWriter::create(&resumed, &meta())
+            .unwrap()
+            .with_segment_capacity(capacity);
+        for id in 0..13 {
+            writer.append(measurement(id)).unwrap();
+        }
+        fs::write(resumed.join("segment-00001.tmp"), b"torn mid-write").unwrap();
+        // Writer dropped without finish(): the injected kill.
+    }
+
+    let (writer, read_meta, persisted) = CampaignWriter::resume(&resumed).unwrap();
+    // Byte identity needs the same spill threshold as the reference run —
+    // segment boundaries are part of the on-disk layout.
+    let mut writer = writer.with_segment_capacity(capacity);
+    assert_eq!(read_meta, meta());
+    assert_eq!(persisted, (0..8).collect::<Vec<_>>());
+    assert!(
+        !resumed.join("segment-00001.tmp").exists(),
+        "resume removes torn tmp orphans"
+    );
+    for id in 8..30 {
+        writer.append(measurement(id)).unwrap();
+    }
+    writer.finish().unwrap();
+
+    assert_stores_byte_identical(&reference, &resumed);
+    fs::remove_dir_all(&reference).unwrap();
+    fs::remove_dir_all(&resumed).unwrap();
+}

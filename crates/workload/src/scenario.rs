@@ -14,8 +14,8 @@
 use crate::apps::{jitter_us, BulkAppFlow, RtcAppFlow};
 use crate::report::{BulkOutcome, LoadOutcome, RtcOutcome, WorkloadComparison, WorkloadReport};
 use qem_netsim::{
-    Asn, DuplexPath, EcnPolicy, EngineCore, EventQueue, Hop, LoadFlow, Path, QueueConfig, Router,
-    RouterId, Scheduler, SharedQueues, SimDuration, TimerWheel,
+    Asn, DuplexPath, EcnPolicy, EngineCore, EventQueue, FaultKind, FaultPlan, Hop, LoadFlow, Path,
+    QueueConfig, Router, RouterId, Scheduler, SharedQueues, SimDuration, SimInstant, TimerWheel,
 };
 use qem_obs::Histogram;
 use qem_packet::ecn::EcnCodepoint;
@@ -149,6 +149,11 @@ pub struct Scenario {
     pub bottleneck: BottleneckSpec,
     /// The applications, in registration order.
     pub apps: Vec<AppSpec>,
+    /// Fault plan attached to the forward path.  The default (empty) plan
+    /// consumes no RNG draws, so fault-free scenarios are byte-identical to
+    /// the pre-fault world.
+    #[serde(default)]
+    pub fault: FaultPlan,
 }
 
 /// Internal registration plan entry: which flow vector the next `count`
@@ -200,7 +205,54 @@ impl Scenario {
                     interval_us: 4_000,
                 },
             ],
+            fault: FaultPlan::default(),
         }
+    }
+
+    /// The netbench workload over a chronically lossy bottleneck: steady
+    /// random loss and jitter for the whole run, plus a mid-run corruption
+    /// window.  The chaos counterpart of [`Scenario::netbench_default`].
+    pub fn lossy_bottleneck(seed: u64) -> Scenario {
+        let mut scenario = Scenario::netbench_default(seed);
+        scenario.name = "lossy-bottleneck".into();
+        scenario.fault = FaultPlan::new()
+            .always(FaultKind::Loss { rate: 0.03 })
+            .always(FaultKind::Jitter {
+                max: SimDuration::from_micros(1_500),
+            })
+            .window(
+                SimInstant::EPOCH + SimDuration::from_micros(500_000),
+                SimInstant::EPOCH + SimDuration::from_micros(1_500_000),
+                FaultKind::Corrupt { rate: 0.02 },
+            );
+        scenario
+    }
+
+    /// The netbench workload over a flapping link: a square-wave outage
+    /// (200 ms down out of every second) through the middle of the run,
+    /// with reordering while the link is unstable.  Deterministic — the
+    /// flap is a pure function of virtual time.
+    pub fn flapping_link(seed: u64) -> Scenario {
+        let mut scenario = Scenario::netbench_default(seed);
+        scenario.name = "flapping-link".into();
+        scenario.fault = FaultPlan::new()
+            .window(
+                SimInstant::EPOCH + SimDuration::from_micros(300_000),
+                SimInstant::EPOCH + SimDuration::from_micros(2_300_000),
+                FaultKind::Flap {
+                    period: SimDuration::from_micros(1_000_000),
+                    down: SimDuration::from_micros(200_000),
+                },
+            )
+            .window(
+                SimInstant::EPOCH + SimDuration::from_micros(300_000),
+                SimInstant::EPOCH + SimDuration::from_micros(2_300_000),
+                FaultKind::Reorder {
+                    rate: 0.05,
+                    extra: SimDuration::from_micros(2_500),
+                },
+            );
+        scenario
     }
 
     /// The three-hop forward path of the scenario: access router, the shared
@@ -220,6 +272,7 @@ impl Scenario {
             Hop::new(Router::transparent(2, Asn(64501))).with_delay(hop_delay),
             Hop::new(egress).with_delay(hop_delay),
         ])
+        .with_fault(self.fault.clone())
     }
 
     /// Run the scenario under `variant` on the production timer wheel.
@@ -482,6 +535,7 @@ mod tests {
                     interval_us: 4_000,
                 },
             ],
+            fault: FaultPlan::default(),
         }
     }
 
@@ -519,6 +573,59 @@ mod tests {
                 variant.label()
             );
         }
+    }
+
+    #[test]
+    fn fault_scenarios_impair_the_run_and_stay_scheduler_deterministic() {
+        let mut lossy = tiny();
+        lossy.fault = Scenario::lossy_bottleneck(7).fault;
+        let mut flappy = tiny();
+        flappy.fault = Scenario::flapping_link(7).fault;
+
+        let lossy_report = lossy.run(EcnVariant::EcnOn);
+        assert!(
+            lossy_report
+                .metrics
+                .counter("fault.drops.loss")
+                .unwrap_or(0)
+                > 0,
+            "steady loss must cost packets"
+        );
+        assert!(lossy_report.metrics.counter("fault.jittered").unwrap_or(0) > 0);
+        assert_eq!(lossy_report, lossy.run_heap(EcnVariant::EcnOn));
+
+        let flappy_report = flappy.run(EcnVariant::EcnOn);
+        assert!(
+            flappy_report
+                .metrics
+                .counter("fault.drops.flap")
+                .unwrap_or(0)
+                > 0,
+            "the down slices must swallow packets"
+        );
+        assert_eq!(flappy_report, flappy.run_heap(EcnVariant::EcnOn));
+
+        // The fault-free scenario emits no fault keys at all — that silence
+        // is what keeps the committed goldens byte-identical.
+        let clean = tiny().run(EcnVariant::EcnOn);
+        assert_eq!(clean.metrics.counter("fault.drops.loss"), None);
+        assert_eq!(clean.metrics.counter("fault.jittered"), None);
+    }
+
+    #[test]
+    fn the_fault_section_renders_only_for_faulted_runs() {
+        let mut lossy = tiny();
+        lossy.fault = Scenario::lossy_bottleneck(7).fault;
+        let faulted = lossy.run_all().to_string();
+        assert!(
+            faulted.contains("-- fault injection --"),
+            "faulted comparison must render the section:\n{faulted}"
+        );
+        let clean = tiny().run_all().to_string();
+        assert!(
+            !clean.contains("-- fault injection --"),
+            "clean comparison must not grow a section"
+        );
     }
 
     #[test]

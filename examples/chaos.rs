@@ -1,0 +1,95 @@
+//! Chaos matrix: the netbench workload under injected network faults.
+//!
+//! Runs the two fault scenarios — `lossy-bottleneck` (steady random loss +
+//! jitter with a mid-run corruption window) and `flapping-link` (a link
+//! that goes down 200 ms out of every second, plus reordering) — under the
+//! ECN-on, ECN-off and CE-blackholed variants and prints the comparison
+//! tables, including the fault-injection counter section.
+//!
+//! Run with: `cargo run --release --example chaos`
+//!
+//! Options:
+//!
+//! * `--workers <n>` — worker-thread budget for running the three variants
+//!   of each scenario in parallel (`0` = one per core; the default).  The
+//!   output is byte-identical for every value — CI diffs a `--workers 1`
+//!   run against `--workers 0`, and the golden snapshot in
+//!   `tests/data/golden_chaos_report.txt` pins the default seed.
+//! * `--seed <n>` — scenario seed (default 7, the golden-snapshot seed).
+//! * `--metrics` — also print each scenario's ecn-on metrics snapshot as
+//!   JSON (fault counters included).
+
+use qem_core::executor::ShardedExecutor;
+use qem_workload::{EcnVariant, Scenario, WorkloadComparison};
+
+fn parse_args() -> (usize, u64, bool) {
+    let mut workers = 0usize;
+    let mut seed = 7u64;
+    let mut metrics = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--workers requires a number");
+                    std::process::exit(2);
+                });
+                workers = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid worker count: {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--seed requires a number");
+                    std::process::exit(2);
+                });
+                seed = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid seed: {value}");
+                    std::process::exit(2);
+                });
+            }
+            "--metrics" => metrics = true,
+            other => {
+                eprintln!(
+                    "unknown argument: {other} (expected --workers <n>, --seed <n> or --metrics)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (workers, seed, metrics)
+}
+
+fn main() {
+    let (workers, seed, metrics) = parse_args();
+    let executor = ShardedExecutor::new(workers);
+
+    for scenario in [
+        Scenario::lossy_bottleneck(seed),
+        Scenario::flapping_link(seed),
+    ] {
+        // One variant per shard: each run is a pure function of
+        // (scenario, variant) — fault plans draw from per-flow seeded RNGs,
+        // never ambient state — so the executor's input-order reassembly
+        // makes the comparison identical for every worker count.
+        let reports = executor.run(&EcnVariant::ALL, |variant| scenario.run(*variant));
+        let comparison = WorkloadComparison {
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            reports,
+        };
+        print!("{comparison}");
+        println!();
+
+        if metrics {
+            if let Some(report) = comparison
+                .reports
+                .iter()
+                .find(|r| r.variant == EcnVariant::EcnOn)
+            {
+                print!("{}", report.metrics.to_json());
+            }
+        }
+    }
+}

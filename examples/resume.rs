@@ -51,6 +51,7 @@ fn main() {
                 workers: options.workers,
                 seed: options.seed,
                 cross_traffic: options.cross_traffic,
+                retry: qem_core::RetryPolicy::none(),
             },
         );
         scan_into(&scanner, &population[..cut], |m| writer.append(m)).expect("stream scan");

@@ -43,6 +43,10 @@ fn golden_workload_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_workload_report.txt")
 }
 
+fn golden_chaos_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_chaos_report.txt")
+}
+
 /// Render every table and figure the acceptance criteria name (Tables 1–7,
 /// Figures 3–8; Figure 8 shares its builder with Figure 4) into one string.
 fn render_all_reports() -> String {
@@ -155,6 +159,26 @@ fn reports_match_golden_snapshot() {
 #[test]
 fn workload_comparison_matches_golden_snapshot() {
     check_golden(golden_workload_path(), &render_workload_comparison());
+}
+
+/// The two fault scenarios at the chaos example's default seed — exactly
+/// what `examples/chaos.rs` prints, so the snapshot pins the example's
+/// output (fault-injection counter section included) across refactors of
+/// the fault plans, the engine, and the schedulers.
+fn render_chaos_report() -> String {
+    let mut out = String::new();
+    for scenario in [
+        qem_workload::Scenario::lossy_bottleneck(7),
+        qem_workload::Scenario::flapping_link(7),
+    ] {
+        writeln!(out, "{}", scenario.run_all()).unwrap();
+    }
+    out
+}
+
+#[test]
+fn chaos_report_matches_golden_snapshot() {
+    check_golden(golden_chaos_path(), &render_chaos_report());
 }
 
 #[test]

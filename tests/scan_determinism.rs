@@ -302,6 +302,7 @@ fn resumed_campaign_reports_are_byte_identical() {
                 workers: options.workers,
                 seed: options.seed,
                 cross_traffic: options.cross_traffic,
+                retry: qem_core::RetryPolicy::none(),
             },
         );
         scan_into(&scanner, &population[..cut], |m| writer.append(m)).expect("stream scan");
